@@ -1,0 +1,122 @@
+package photonrail
+
+import (
+	"fmt"
+	"testing"
+
+	"photonrail/internal/report"
+)
+
+// fourD returns the 4D workload: Llama3-8B with TP=4 (intra-node), CP=2,
+// FSDP=2, PP=2 on 8 nodes — three scale-out axes.
+func fourD(iterations int) Workload {
+	w := PaperWorkload(iterations)
+	w.NumNodes = 8
+	w.CP = 2
+	w.Microbatches = 4
+	return w
+}
+
+// BenchmarkExtension5DParallelism answers the paper's §3 question — "can
+// we reconfigure the OCSes during a job to enable 5D parallelisms?" —
+// by running a 4D (TP+CP+FSDP+PP) job that static circuits cannot host
+// (C2) under Opus across the OCS technology classes.
+func BenchmarkExtension5DParallelism(b *testing.B) {
+	w := fourD(2)
+	base, err := Simulate(w, Fabric{Kind: ElectricalRail})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, staticErr := Simulate(w, Fabric{Kind: PhotonicStaticPartition})
+	type row struct {
+		label string
+		norm  float64
+		rec   int
+	}
+	var rows []row
+	for _, cfg := range []struct {
+		label string
+		lat   float64
+	}{
+		{"PLZT/SiP-class (0.01ms)", 0.01},
+		{"3D MEMS (15ms)", 15},
+		{"Piezo (25ms)", 25},
+	} {
+		res, err := Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: cfg.lat, Provision: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row{cfg.label, res.MeanIterationSeconds / base.MeanIterationSeconds, res.Reconfigurations})
+	}
+	emit("extension-5d", func() string {
+		t := report.NewTable("Extension: 4D parallelism (TP=4, CP=2, FSDP=2, PP=2) on photonic rails",
+			"Fabric", "Normalized iter time", "Reconfigurations")
+		t.AddRow("electrical (reference)", "1.000", 0)
+		staticCell := "n/a"
+		if staticErr != nil {
+			staticCell = "INFEASIBLE (C2)"
+		}
+		t.AddRow("photonic static partition", staticCell, 0)
+		for _, r := range rows {
+			t.AddRow("photonic + Opus, "+r.label, fmt.Sprintf("%.4f", r.norm), r.rec)
+		}
+		return t.String() + "\nThree scale-out axes need 6 static ports; Opus time-multiplexes them over 2.\n"
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: 0.01, Provision: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPipelineSchedule compares 1F1B against GPipe on
+// photonic rails: GPipe's phase structure (all forwards, then all
+// backwards) produces fewer parallelism interleavings — fewer
+// reconfigurations — at the price of a larger pipeline bubble.
+func BenchmarkAblationPipelineSchedule(b *testing.B) {
+	// A deeper pipeline (PP=4) makes the schedule choice visible: the
+	// GPipe bubble grows with PP while 1F1B's stays one fill/drain.
+	oneF := PaperWorkload(2)
+	oneF.NumNodes = 8
+	oneF.PP = 4
+	oneF.Microbatches = 8
+	gp := oneF
+	gp.UseGPipe = true
+	run := func(w Workload) (*Result, *Result) {
+		base, err := Simulate(w, Fabric{Kind: ElectricalRail})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ph, err := Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: 25, Provision: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return base, ph
+	}
+	base1, ph1 := run(oneF)
+	baseG, phG := run(gp)
+	emit("ablation-schedule", func() string {
+		t := report.NewTable("Ablation: pipeline schedule on photonic rails (Piezo 25ms, provisioned)",
+			"Schedule", "Baseline iter (s)", "Photonic iter (s)", "Overhead", "Reconfigurations")
+		t.AddRow("1F1B",
+			fmt.Sprintf("%.3f", base1.MeanIterationSeconds),
+			fmt.Sprintf("%.3f", ph1.MeanIterationSeconds),
+			fmt.Sprintf("%.2f%%", 100*(ph1.MeanIterationSeconds/base1.MeanIterationSeconds-1)),
+			ph1.Reconfigurations)
+		t.AddRow("GPipe",
+			fmt.Sprintf("%.3f", baseG.MeanIterationSeconds),
+			fmt.Sprintf("%.3f", phG.MeanIterationSeconds),
+			fmt.Sprintf("%.2f%%", 100*(phG.MeanIterationSeconds/baseG.MeanIterationSeconds-1)),
+			phG.Reconfigurations)
+		return t.String()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(gp, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: 25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

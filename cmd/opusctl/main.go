@@ -1,0 +1,152 @@
+// Command opusctl runs the Opus TCP controller, or exercises one as a
+// client: registering groups, acquiring/releasing circuits, and reading
+// telemetry. It is the operational face of the real control plane
+// (internal/opusnet).
+//
+// Usage:
+//
+//	opusctl serve -addr 127.0.0.1:9350 -nodes 4 -gpus-per-node 4 -latency 15
+//	opusctl stats -addr 127.0.0.1:9350
+//	opusctl demo  -addr 127.0.0.1:9350   # drive a 3-phase iteration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"photonrail/internal/opusnet"
+	"photonrail/internal/topo"
+	"photonrail/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opusctl: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: opusctl <serve|stats|demo> [flags]")
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "serve":
+		serve(args)
+	case "stats":
+		stats(args)
+	case "demo":
+		demo(args)
+	default:
+		log.Fatalf("unknown subcommand %q", cmd)
+	}
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9350", "listen address")
+	nodes := fs.Int("nodes", 4, "scale-up domains")
+	perNode := fs.Int("gpus-per-node", 4, "GPUs per domain")
+	latency := fs.Float64("latency", 15, "OCS reconfiguration latency (ms)")
+	_ = fs.Parse(args)
+
+	cl, err := topo.New(topo.Config{NumNodes: *nodes, GPUsPerNode: *perNode, Fabric: topo.FabricPhotonicRail})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := opusnet.NewServer(opusnet.ServerConfig{
+		Cluster:         cl,
+		ReconfigLatency: units.FromMilliseconds(*latency),
+		Addr:            *addr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opus controller listening on %s (%s, latency %gms)\n", srv.Addr(), cl, *latency)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	_ = srv.Close()
+}
+
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9350", "controller address")
+	_ = fs.Parse(args)
+	c, err := opusnet.Dial(*addr, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconfigurations:     %d\n", st.Reconfigurations)
+	fmt.Printf("fast grants:          %d\n", st.FastGrants)
+	fmt.Printf("queued grants:        %d\n", st.QueuedGrants)
+	fmt.Printf("blocked time:         %v\n", st.BlockedTime)
+	fmt.Printf("provisioned requests: %d\n", st.ProvisionedRequests)
+}
+
+// demo drives the §3.1 rail-0 phase sequence (AG → PP → RS → sync)
+// against a running controller with four concurrent rank clients.
+func demo(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9350", "controller address")
+	_ = fs.Parse(args)
+
+	ranks := []int{0, 4, 8, 12}
+	clients := make(map[int]*opusnet.Client)
+	for _, r := range ranks {
+		c, err := opusnet.Dial(*addr, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		clients[r] = c
+	}
+	groups := map[string][]int{
+		"fsdp.s0.r0": {0, 4},
+		"fsdp.s1.r0": {8, 12},
+		"pp.d0.r0":   {0, 8},
+		"pp.d1.r0":   {4, 12},
+	}
+	for name, members := range groups {
+		for _, r := range members {
+			if err := clients[r].RegisterGroup(name, 0, 0, members); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	phase := func(label string, names ...string) {
+		var wg sync.WaitGroup
+		for _, name := range names {
+			for _, r := range groups[name] {
+				wg.Add(1)
+				go func(r int, name string) {
+					defer wg.Done()
+					if err := clients[r].Acquire(name, 0); err != nil {
+						log.Fatalf("rank %d acquire %s: %v", r, name, err)
+					}
+					if err := clients[r].Release(name, 0); err != nil {
+						log.Fatalf("rank %d release %s: %v", r, name, err)
+					}
+				}(r, name)
+			}
+		}
+		wg.Wait()
+		fmt.Printf("phase %-12s done\n", label)
+	}
+	phase("AllGather", "fsdp.s0.r0", "fsdp.s1.r0")
+	phase("pipeline", "pp.d0.r0", "pp.d1.r0")
+	phase("ReduceScatter", "fsdp.s0.r0", "fsdp.s1.r0")
+	phase("sync", "pp.d0.r0", "pp.d1.r0")
+	st, err := clients[0].Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("controller: %d reconfigurations, %d fast grants, %d queued\n",
+		st.Reconfigurations, st.FastGrants, st.QueuedGrants)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"photonrail"
+)
+
+func TestBuildWorkload(t *testing.T) {
+	w, err := buildWorkload("Llama3-8B", "A100", 4, 4, 2, 2, 12, 2, 2, "2x200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Model.Name != "Llama3-8B" || w.GPU.Name != "A100" || w.NIC != photonrail.TwoPort200G {
+		t.Errorf("workload = %+v", w)
+	}
+	if w.TP != 4 {
+		t.Errorf("TP should follow gpus-per-node: %d", w.TP)
+	}
+	for _, bad := range [][2]string{
+		{"NoSuchModel", "A100"},
+		{"Llama3-8B", "TPU"},
+	} {
+		if _, err := buildWorkload(bad[0], bad[1], 4, 4, 2, 2, 12, 2, 2, "2x200"); err == nil {
+			t.Errorf("accepted %v", bad)
+		}
+	}
+	if _, err := buildWorkload("Llama3-8B", "A100", 4, 4, 2, 2, 12, 2, 2, "9x99"); err == nil {
+		t.Error("accepted bad NIC")
+	}
+}
+
+func TestParseFabric(t *testing.T) {
+	f, err := parseFabric("photonic", 25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != photonrail.PhotonicRail || f.ReconfigLatencyMS != 25 || !f.Provision {
+		t.Errorf("fabric = %+v", f)
+	}
+	if f, _ := parseFabric("electrical", 0, false); f.Kind != photonrail.ElectricalRail {
+		t.Error("electrical parse failed")
+	}
+	if f, _ := parseFabric("static", 0, false); f.Kind != photonrail.PhotonicStaticPartition {
+		t.Error("static parse failed")
+	}
+	if _, err := parseFabric("quantum", 0, false); err == nil {
+		t.Error("accepted unknown fabric")
+	}
+}
+
+// TestEndToEndSimulation drives the same path main does, on a small run.
+func TestEndToEndSimulation(t *testing.T) {
+	w, err := buildWorkload("Llama3-8B", "A100", 4, 4, 2, 2, 4, 2, 1, "2x200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := parseFabric("photonic", 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := photonrail.Simulate(w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds <= 0 {
+		t.Error("no progress")
+	}
+}

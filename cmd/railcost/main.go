@@ -1,0 +1,87 @@
+// Command railcost reproduces the paper's fabric economics: the Fig. 7
+// cost/power comparison across cluster sizes and the Table 3 OCS
+// scalability–latency tradeoff.
+//
+// Usage:
+//
+//	railcost -fig7
+//	railcost -table3
+//	railcost -bom -gpus 8192     # per-design bills of materials
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"photonrail"
+	"photonrail/internal/cost"
+	"photonrail/internal/report"
+	"photonrail/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("railcost: ")
+	var (
+		fig7   = flag.Bool("fig7", false, "print the Fig. 7 comparison")
+		table3 = flag.Bool("table3", false, "print Table 3")
+		bom    = flag.Bool("bom", false, "print per-design bills of materials")
+		gpus   = flag.Int("gpus", 8192, "cluster size for -bom")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	if !*fig7 && !*table3 && !*bom {
+		*fig7, *table3 = true, true
+	}
+	render := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table3 {
+		render(photonrail.Table3())
+	}
+	if *fig7 {
+		t, err := photonrail.Fig7Table()
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	}
+	if *bom {
+		cat := cost.DefaultCatalog()
+		ft, err := cost.FatTree(*gpus, cat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rail, err := cost.RailOptimized(*gpus, topo.DGXH200GPUsPerNode, cat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		op, err := cost.Opus(*gpus, topo.DGXH200GPUsPerNode, cat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, b := range []cost.BOM{ft, rail, op} {
+			t := report.NewTable(fmt.Sprintf("%s bill of materials (%d GPUs)", b.Design, b.GPUs),
+				"Component", "Count", "Unit price", "Unit power")
+			for _, it := range b.Items {
+				t.AddRow(it.Device.Name, it.Count, it.Device.Price, it.Device.Power)
+			}
+			t.AddRow("TOTAL", "", b.TotalCost(), b.TotalPower())
+			render(t)
+		}
+		costFrac, powerFrac := cost.Savings(rail, op)
+		fmt.Printf("Opus vs rail-optimized at %d GPUs: cost -%.1f%%, power -%.2f%% (paper: up to -70.5%% / -95.84%%)\n",
+			*gpus, 100*costFrac, 100*powerFrac)
+	}
+}

@@ -1,0 +1,98 @@
+// Command railwindows reproduces the paper's §3.1 trace analysis: the
+// Fig. 3 per-rail communication timeline, the Fig. 4 window-size CDF and
+// traffic breakdown, the Eq. 1 window-count formula, and Tables 1–2.
+//
+// Usage:
+//
+//	railwindows -fig3          # rail-0 timeline
+//	railwindows -fig4          # window CDF + breakdown (10 iterations)
+//	railwindows -eq1           # window-count formula examples
+//	railwindows -table1 -table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"photonrail"
+	"photonrail/internal/parallelism"
+	"photonrail/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("railwindows: ")
+	var (
+		fig3   = flag.Bool("fig3", false, "print the Fig. 3 rail timeline")
+		fig4   = flag.Bool("fig4", false, "print the Fig. 4 window analysis")
+		eq1    = flag.Bool("eq1", false, "print Eq. 1 window counts")
+		table1 = flag.Bool("table1", false, "print Table 1")
+		table2 = flag.Bool("table2", false, "print Table 2")
+		iters  = flag.Int("iterations", 10, "iterations for the Fig. 4 CDF")
+		rail   = flag.Int("rail", 0, "rail to analyze")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	if !*fig3 && !*fig4 && !*eq1 && !*table1 && !*table2 {
+		*fig3, *fig4, *eq1, *table1, *table2 = true, true, true, true, true
+	}
+	render := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *table1 {
+		render(photonrail.Table1())
+	}
+	if *table2 {
+		render(photonrail.Table2())
+	}
+	if *eq1 {
+		t := report.NewTable("Eq. 1: windows per iteration",
+			"Workload", "PP", "Layers", "Microbatches", "CP", "EP", "Windows")
+		add := func(label string, pp, layers, mb int, cp, ep bool) {
+			n, err := photonrail.WindowCount(pp, layers, mb, cp, ep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(label, pp, layers, mb, cp, ep, n)
+		}
+		add("Llama3-8B (paper §3.1)", 2, 32, 12, false, false)
+		add("Llama3.1-405B (1k H100)", 16, 126, 16, true, false)
+		add("5D (CP+EP)", 4, 32, 8, true, true)
+		render(t)
+		n, _ := photonrail.WindowCount(16, 126, 16, true, false)
+		fmt.Printf("Llama3.1-405B: %.1f windows/second at 20s iterations (paper: ~6/s)\n\n",
+			parallelism.WindowsPerSecond(n, 20))
+	}
+	if *fig3 || *fig4 {
+		w := photonrail.PaperWorkload(*iters)
+		rep, err := photonrail.AnalyzeWindows(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *fig3 {
+			iter := 1
+			if *iters < 2 {
+				iter = 0
+			}
+			render(photonrail.TimelineTable(rep.Trace, *rail, iter))
+		}
+		if *fig4 {
+			cdf, breakdown := photonrail.Fig4Tables(rep)
+			render(cdf)
+			render(breakdown)
+			fmt.Printf("windows over 1ms: %.0f%% (paper: >75%%)\n", 100*rep.FractionOver1ms)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Fig. 7 reproduction: compare the capital cost and power draw of the
+// GPU-backend network under a fat-tree, the electrical rail-optimized
+// fabric, and Opus's photonic rails, at 1024-8192 DGX H200 GPUs.
+//
+//	go run ./examples/cost_power
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"photonrail"
+	"photonrail/internal/cost"
+	"photonrail/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	tbl, err := photonrail.Fig7Table()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rows, err := photonrail.CostComparison()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ASCII bars of the cost column, the paper's left panel.
+	var ft, rail, opus report.Series
+	ft.Name, rail.Name, opus.Name = "fat-tree", "rail-optimized", "Opus"
+	for _, r := range rows {
+		x := float64(r.GPUs)
+		ft.Points = append(ft.Points, [2]float64{x, float64(r.FatTree.TotalCost())})
+		rail.Points = append(rail.Points, [2]float64{x, float64(r.Rail.TotalCost())})
+		opus.Points = append(opus.Points, [2]float64{x, float64(r.Opus.TotalCost())})
+	}
+	if err := report.Chart(os.Stdout, "Fig. 7 (left): network cost ($)", "GPUs", "$",
+		[]report.Series{ft, rail, opus}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	last := rows[len(rows)-1]
+	costFrac, powerFrac := cost.Savings(last.Rail, last.Opus)
+	fmt.Printf("at %d GPUs, Opus vs rail-optimized: cost -%.1f%%, power -%.2f%%\n",
+		last.GPUs, 100*costFrac, 100*powerFrac)
+	fmt.Println("(paper headline: up to -70.5% cost and -95.84% power)")
+}

@@ -1,0 +1,44 @@
+// Fig. 8 reproduction: sweep the OCS reconfiguration latency for the
+// Llama3-8B 3D-parallel workload and report normalized iteration time
+// with and without Opus provisioning.
+//
+//	go run ./examples/llama3_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"photonrail"
+	"photonrail/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	w := photonrail.PaperWorkload(2)
+	fmt.Printf("workload: Llama3-8B, TP=%d FSDP=%d PP=%d, %d microbatches, %d nodes\n\n",
+		w.TP, w.DP, w.PP, w.Microbatches, w.NumNodes)
+
+	points, err := photonrail.SweepReconfigLatency(w, photonrail.PaperLatenciesMS())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := photonrail.Fig8Table(points).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Render the two series as an ASCII chart, the paper's Fig. 8 bars.
+	reactive := report.Series{Name: "without provisioning"}
+	provisioned := report.Series{Name: "with provisioning"}
+	for _, p := range points {
+		reactive.Points = append(reactive.Points, [2]float64{p.LatencyMS, p.Reactive})
+		provisioned.Points = append(provisioned.Points, [2]float64{p.LatencyMS, p.Provisioned})
+	}
+	fmt.Println()
+	if err := report.Chart(os.Stdout, "Fig. 8: normalized iteration time", "ms", "x",
+		[]report.Series{reactive, provisioned}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper reference: 1.06/1.03 at 100ms, 1.65/1.47 at 1000ms; 0 = baseline")
+}

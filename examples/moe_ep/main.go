@@ -1,0 +1,83 @@
+// Expert-parallel AllToAll on photonic rails (§5 discussion): compare
+// the strategies for the one traffic pattern that rings do not serve
+// well — direct pairwise circuits (infeasible node degree on an OCS),
+// multi-hop forwarding over the ring (the bandwidth tax), and offloading
+// to the scale-up interconnect.
+//
+//	go run ./examples/moe_ep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/model"
+	"photonrail/internal/report"
+	"photonrail/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	m := model.Mixtral8x7B
+	fmt.Printf("model: %s (%d experts, top-%d), EP across 8 scale-up domains\n\n",
+		m.Name, m.Experts, m.TopK)
+
+	const ep = 8
+	alpha := 5 * units.Microsecond
+	scaleOut := units.Bandwidth(400) * units.Gbps
+	scaleUp := units.Bandwidth(2400) * units.Gbps
+
+	t := report.NewTable("EP AllToAll per MoE layer (mbs=2)",
+		"Strategy", "OCS ports needed", "Feasible on 2-port NIC?", "Time")
+	bytes := m.ActivationBytes(2)
+	add := func(label string, alg collective.Algorithm, bw units.Bandwidth, ports any, feasible bool) {
+		d, err := collective.Time(collective.AllToAll, alg, ep, bytes, bw, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(label, ports, feasible, d)
+	}
+	add("direct circuits (needs k-1 ports)", collective.Direct, scaleOut,
+		collective.Direct.RequiredDegree(ep), collective.Direct.FeasibleOnCircuits(ep, 2))
+	add("multi-hop over ring circuits", collective.MultiHopRing, scaleOut,
+		collective.MultiHopRing.RequiredDegree(ep), collective.MultiHopRing.FeasibleOnCircuits(ep, 2))
+	add("offload to scale-up (PXN-style)", collective.Direct, scaleUp, "0 (NVLink)", true)
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Multi-hop forwarding pays the average-hop-count bandwidth tax (~k/2);")
+	fmt.Println("small, bursty, high-incast traffic is better off-loaded to the")
+	fmt.Println("scale-up interconnect or a host packet network (§5). Per-layer")
+	fmt.Println("AllToAll volumes scale with tokens routed, so the crossover between")
+	fmt.Println("ring forwarding and offload depends on the scale-up bandwidth headroom:")
+	fmt.Println()
+
+	// Crossover sweep: at what per-rank volume does the ring beat the
+	// scale-up offload path (which contends with TP traffic, modeled as
+	// a derated share)?
+	shareTbl := report.NewTable("ring multi-hop vs scale-up offload (scale-up share for EP)",
+		"Scale-up share", "Offload time", "Ring multi-hop", "Winner")
+	for _, share := range []float64{1.0, 0.5, 0.25, 0.1} {
+		bw := units.Bandwidth(float64(scaleUp) * share)
+		off, err := collective.Time(collective.AllToAll, collective.Direct, ep, bytes, bw, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ring, err := collective.Time(collective.AllToAll, collective.MultiHopRing, ep, bytes, scaleOut, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "offload"
+		if ring < off {
+			winner = "ring"
+		}
+		shareTbl.AddRow(fmt.Sprintf("%.0f%%", 100*share), off, ring, winner)
+	}
+	if err := shareTbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Fig. 3 / Fig. 4 reproduction: trace the Llama3-8B iteration on rail 0,
+// segment it into parallelism phases, and analyze the idle windows that
+// Opus reconfigures inside — the paper's §3.1 measurement study.
+//
+//	go run ./examples/window_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"photonrail"
+)
+
+func main() {
+	log.SetFlags(0)
+	w := photonrail.PaperWorkload(10) // the paper analyzes 10 iterations
+	// Real kernels have duration variance; a few percent of
+	// deterministic jitter spreads the window CDF the way the measured
+	// Perlmutter trace does.
+	w.JitterFrac = 0.03
+	rep, err := photonrail.AnalyzeWindows(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 3: the rail-0 timeline of one steady-state iteration.
+	timeline := photonrail.TimelineTable(rep.Trace, 0, 1)
+	if len(timeline.Rows) > 40 {
+		timeline.Rows = timeline.Rows[:40]
+		timeline.Title += " (first 40 ops)"
+	}
+	if err := timeline.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Fig. 4a/4b: window CDF per rail and the per-class breakdown.
+	cdf, breakdown := photonrail.Fig4Tables(rep)
+	if err := cdf.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := breakdown.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("windows over 1ms: %.0f%% (paper: >75%%)\n", 100*rep.FractionOver1ms)
+
+	// The §3.1 headline observation.
+	var biggestWindowMS float64
+	var classOfBiggest string
+	for _, b := range rep.Breakdown.Buckets() {
+		if b.Count > 0 && b.Mean() > biggestWindowMS {
+			biggestWindowMS = b.Mean()
+			classOfBiggest = b.Label
+		}
+	}
+	fmt.Printf("largest average window: %.0fms, preceding %s (paper: ~1000ms before ReduceScatter)\n",
+		biggestWindowMS, classOfBiggest)
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasic(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := c.FractionAbove(1); got != 0.75 {
+		t.Errorf("FractionAbove(1) = %v, want 0.75", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.N() != 0 || c.At(5) != 0 {
+		t.Error("empty CDF should report zero")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF quantile should be NaN")
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Error("empty CDF should have no points")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 10},
+		{0.2, 10},
+		{0.5, 30},
+		{0.8, 40},
+		{1, 50},
+	}
+	for _, tt := range tests {
+		if got := c.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	c := NewCDF(in)
+	in[0] = 100
+	if got := c.Quantile(1); got != 3 {
+		t.Errorf("CDF aliased its input: max = %v, want 3", got)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	pts := c.Points(4)
+	if len(pts) != 4 {
+		t.Fatalf("Points(4) returned %d points", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last[0] != 8 || last[1] != 1 {
+		t.Errorf("last point = %v, want [8 1]", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Errorf("points not monotone: %v", pts)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Stddev != 2 {
+		t.Errorf("Stddev = %v, want 2", s.Stddev)
+	}
+	if s.Sum != 40 {
+		t.Errorf("Sum = %v, want 40", s.Sum)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Error("empty Summarize should be zero-valued")
+	}
+}
+
+// Property: At is a valid CDF — monotone, in [0,1], and At(max) == 1.
+func TestCDFProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%100) + 1
+		samples := make([]float64, count)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 100
+		}
+		c := NewCDF(samples)
+		prev := -1.0
+		for x := -300.0; x <= 300; x += 10 {
+			p := c.At(x)
+			if p < 0 || p > 1 || p < prev {
+				return false
+			}
+			prev = p
+		}
+		return c.At(c.Quantile(1)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by [min, max].
+func TestQuantileProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%100) + 1
+		samples := make([]float64, count)
+		for i := range samples {
+			samples[i] = rng.Float64() * 1000
+		}
+		c := NewCDF(samples)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			if v < c.Quantile(0) || v > c.Quantile(1) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifiedHistogram(t *testing.T) {
+	h := NewClassifiedHistogram("<1MB", "64MB", "957MB", "3829MB")
+	h.Add("<1MB", 0.5)
+	h.Add("<1MB", 1.5)
+	h.Add("957MB", 100)
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(bs))
+	}
+	if bs[0].Count != 2 || bs[0].Mean() != 1 {
+		t.Errorf("bucket <1MB count=%d mean=%v", bs[0].Count, bs[0].Mean())
+	}
+	if bs[1].Count != 0 || bs[1].Mean() != 0 {
+		t.Errorf("empty bucket should be zero")
+	}
+	// Unknown label appended, not dropped.
+	h.Add("other", 7)
+	bs = h.Buckets()
+	if len(bs) != 5 || bs[4].Label != "other" || bs[4].Count != 1 {
+		t.Errorf("unknown label handling broken: %+v", bs)
+	}
+	if h.String() == "" {
+		t.Error("String() empty")
+	}
+}

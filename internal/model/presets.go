@@ -1,0 +1,76 @@
+package model
+
+// Llama3_8B is the Llama 3 8B configuration the paper traces in §3.1.
+var Llama3_8B = Spec{
+	Name:          "Llama3-8B",
+	Layers:        32,
+	Hidden:        4096,
+	FFNHidden:     14336,
+	Heads:         32,
+	KVHeads:       8,
+	Vocab:         128256,
+	SeqLen:        8192,
+	BytesPerParam: 2,
+	BytesPerGrad:  4,
+}
+
+// Llama3_70B is the Llama 3 70B configuration.
+var Llama3_70B = Spec{
+	Name:          "Llama3-70B",
+	Layers:        80,
+	Hidden:        8192,
+	FFNHidden:     28672,
+	Heads:         64,
+	KVHeads:       8,
+	Vocab:         128256,
+	SeqLen:        8192,
+	BytesPerParam: 2,
+	BytesPerGrad:  4,
+}
+
+// Llama31_405B is the Llama 3.1 405B configuration cited in §3.1 for the
+// window-count example (126 layers, 1k H100s, ≈20 s iterations).
+var Llama31_405B = Spec{
+	Name:          "Llama3.1-405B",
+	Layers:        126,
+	Hidden:        16384,
+	FFNHidden:     53248,
+	Heads:         128,
+	KVHeads:       8,
+	Vocab:         128256,
+	SeqLen:        8192,
+	BytesPerParam: 2,
+	BytesPerGrad:  4,
+}
+
+// Mixtral8x7B is a mixture-of-experts configuration used by the EP /
+// AllToAll experiments (§5 discussion).
+var Mixtral8x7B = Spec{
+	Name:          "Mixtral-8x7B",
+	Layers:        32,
+	Hidden:        4096,
+	FFNHidden:     14336,
+	Heads:         32,
+	KVHeads:       8,
+	Vocab:         32000,
+	SeqLen:        8192,
+	BytesPerParam: 2,
+	BytesPerGrad:  4,
+	Experts:       8,
+	TopK:          2,
+}
+
+// Presets lists the built-in model specifications.
+func Presets() []Spec {
+	return []Spec{Llama3_8B, Llama3_70B, Llama31_405B, Mixtral8x7B}
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"photonrail/internal/parallelism"
+	"photonrail/internal/topo"
+	"photonrail/internal/workload"
+)
+
+// TestEq1CrossValidation compares the Eq. 1 window-count formula against
+// the number of inter-parallelism windows actually observed in the
+// simulated trace, for the 3D and 4D workloads. The formula counts
+// reconfiguration opportunities per iteration; the measured phase
+// transitions on one rail should land in the same regime (the formula is
+// itself an approximation — the paper rounds interleave terms — so we
+// assert order-of-magnitude agreement, and that adding CP multiplies the
+// measurement the way the CP terms predict).
+func TestEq1CrossValidation(t *testing.T) {
+	run := func(p *workload.Program) int {
+		t.Helper()
+		res, err := Run(p, Options{Mode: Electrical, RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iter := p.Iterations - 1
+		return len(res.Trace.Phases(topo.RailID(0), iter)) - 1
+	}
+
+	// 3D: Eq. 1 predicts 4(PP-1) + 4 = 8.
+	m3 := run(paperProgram(t, 2))
+	f3, err := parallelism.WindowCount(parallelism.WindowCountConfig{PP: 2, Layers: 32, Microbatches: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 < f3/2 || m3 > 2*f3 {
+		t.Errorf("3D: measured %d windows, Eq.1 predicts %d (want within 2x)", m3, f3)
+	}
+
+	// 4D with CP: Eq. 1 predicts 4(PP-1) + 2(L/PP - 1) + 4M + 4 = 54.
+	m4 := run(cp4DProgram(t, paperNIC(), 2))
+	f4, err := parallelism.WindowCount(parallelism.WindowCountConfig{PP: 2, Layers: 32, Microbatches: 4, HasCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4 < f4/2 || m4 > 4*f4 {
+		t.Errorf("4D: measured %d windows, Eq.1 predicts %d (want same regime)", m4, f4)
+	}
+	if m4 < 3*m3 {
+		t.Errorf("CP should multiply windows: 3D=%d, 4D=%d", m3, m4)
+	}
+	t.Logf("Eq.1 cross-validation: 3D measured %d vs predicted %d; 4D measured %d vs predicted %d", m3, f3, m4, f4)
+}

@@ -1,0 +1,494 @@
+// Package netsim executes a workload.Program on a fabric realization:
+// the electrical rail baseline (full connectivity), the photonic rail
+// with the Opus controller (reactive or provisioned), or a statically
+// partitioned photonic rail (the C3 baseline without in-job
+// reconfiguration).
+//
+// The executor drives the discrete-event engine: compute tasks occupy
+// their GPU for a fixed duration; collectives gate on all dependencies
+// (the slowest-rank barrier), acquire circuits when the fabric needs
+// them, transfer for their α–β model duration, and release.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/opus"
+	"photonrail/internal/parallelism"
+	"photonrail/internal/sim"
+	"photonrail/internal/topo"
+	"photonrail/internal/trace"
+	"photonrail/internal/units"
+	"photonrail/internal/workload"
+)
+
+// Mode selects the fabric realization.
+type Mode int
+
+// Fabric modes.
+const (
+	// Electrical is the packet-switched rail baseline: every collective
+	// proceeds immediately at full NIC bandwidth.
+	Electrical Mode = iota
+	// Photonic is the OCS rail with the Opus controller reconfiguring
+	// between parallelism phases.
+	Photonic
+	// PhotonicStatic partitions NIC ports across parallelism axes once,
+	// with no in-job reconfiguration (constraint C3's bandwidth
+	// fragmentation; infeasible when axes exceed ports/2 — C2).
+	PhotonicStatic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Electrical:
+		return "electrical"
+	case Photonic:
+		return "photonic+opus"
+	case PhotonicStatic:
+		return "photonic-static"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configure a run.
+type Options struct {
+	// Mode is the fabric realization.
+	Mode Mode
+	// ReconfigLatency is the OCS switching latency (Photonic mode).
+	ReconfigLatency units.Duration
+	// Provision enables Opus's speculative reconfiguration (Fig. 5b).
+	// It requires a Profile; if none is supplied, Run performs an
+	// internal profiling pass first (the paper's iteration-1 profiling).
+	Provision bool
+	// Profile is the per-rail op order from a previous run.
+	Profile *Profile
+	// RecordTrace enables span recording (costs memory on large runs).
+	RecordTrace bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Total is the virtual time to complete the program.
+	Total units.Duration
+	// IterationTimes[i] is the duration of iteration i.
+	IterationTimes []units.Duration
+	// Trace holds the recorded spans if Options.RecordTrace was set.
+	Trace *trace.Trace
+	// Reconfigurations, FastGrants, BlockedTime are controller telemetry
+	// (Photonic mode).
+	Reconfigurations int
+	FastGrants       int
+	QueuedGrants     int
+	BlockedTime      units.Duration
+	// Profile is the per-rail op order observed, usable to provision a
+	// subsequent run.
+	Profile *Profile
+}
+
+// MeanIterationTime averages the steady-state iterations (all but the
+// first, which includes pipeline fill from a cold start; with a single
+// iteration it is that iteration).
+func (r *Result) MeanIterationTime() units.Duration {
+	if len(r.IterationTimes) == 0 {
+		return 0
+	}
+	ts := r.IterationTimes
+	if len(ts) > 1 {
+		ts = ts[1:]
+	}
+	var sum units.Duration
+	for _, t := range ts {
+		sum += t
+	}
+	return sum / units.Duration(len(ts))
+}
+
+// Profile records, per rail, the order in which scale-out collectives
+// completed — the shim's "profiled traffic pattern" from iteration 1
+// (§4.1). The provisioned run uses it to issue speculative requests.
+type Profile struct {
+	// order[rail] lists task IDs in completion order.
+	order map[topo.RailID][]workload.TaskID
+	// pos[taskID] is the task's index within its rail's order.
+	pos map[workload.TaskID]int
+}
+
+// provisionLookahead bounds how many distinct upcoming groups the shim
+// manager coalesces into one speculative request batch — the groups of
+// the next parallelism phase (one per data shard, typically).
+const provisionLookahead = 8
+
+// upcomingGroups returns the distinct groups of the next parallelism
+// phase following task t on its rail: it walks the profiled order,
+// skipping t's own group, collecting mutually conflict-free groups, and
+// stopping at the first group that conflicts with one already collected
+// (that group belongs to the phase after next) or at a return to t's
+// group.
+func (p *Profile) upcomingGroups(tasks []*workload.Task, t *workload.Task, plan opus.PortPlan) []*collective.Group {
+	idx, ok := p.pos[t.ID]
+	if !ok {
+		return nil
+	}
+	order := p.order[t.Rail]
+	// Only the last op of a group run triggers provisioning: while our
+	// own group still has profiled traffic immediately ahead, a
+	// speculative conflicting request would stall that traffic behind
+	// the FC-FS queue (tearing down circuits the phase still needs).
+	if idx+1 < len(order) && tasks[order[idx+1]].Group.Name == t.Group.Name {
+		return nil
+	}
+	var out []*collective.Group
+	phaseStarted := false
+	for j := idx + 1; j < len(order) && len(out) < provisionLookahead; j++ {
+		g := tasks[order[j]].Group
+		if g.Name == t.Group.Name {
+			if phaseStarted {
+				break // the phase after next returns to our group
+			}
+			continue // trailing ops of the current phase
+		}
+		phaseStarted = true
+		dup := false
+		for _, seen := range out {
+			if seen.Name == g.Name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		conflict := false
+		for _, seen := range out {
+			c, err := plan.GroupsConflict(seen, g)
+			if err != nil {
+				return out
+			}
+			if c {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			break // start of the phase after next
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Run executes the program under the given options.
+func Run(p *workload.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ReconfigLatency < 0 {
+		return nil, fmt.Errorf("netsim: negative reconfiguration latency")
+	}
+	if opts.Provision && opts.Mode == Photonic && opts.Profile == nil {
+		// Iteration-1 profiling pass: reactive run to learn the per-rail
+		// op order.
+		profOpts := opts
+		profOpts.Provision = false
+		profOpts.RecordTrace = false
+		prof, err := Run(p, profOpts)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: profiling pass: %w", err)
+		}
+		opts.Profile = prof.Profile
+	}
+	ex, err := newExecutor(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ex.run()
+}
+
+type executor struct {
+	p      *workload.Program
+	opts   Options
+	engine *sim.Engine
+	ctrl   *opus.Controller
+	// plans maps a parallelism-axis index to its static port plan
+	// (PhotonicStatic); Photonic uses plans[0] for everything.
+	planFor func(t *workload.Task) opus.PortPlan
+	ctrlFor func(t *workload.Task) *opus.Controller
+
+	remaining []int // unmet dependency count per task
+	succ      [][]workload.TaskID
+	done      []bool
+	doneCount int
+
+	tr        *trace.Trace
+	iterEnd   []units.Duration
+	completed map[topo.RailID][]workload.TaskID
+}
+
+func newExecutor(p *workload.Program, opts Options) (*executor, error) {
+	ex := &executor{
+		p:         p,
+		opts:      opts,
+		engine:    sim.NewEngine(),
+		remaining: make([]int, len(p.Tasks)),
+		succ:      make([][]workload.TaskID, len(p.Tasks)),
+		done:      make([]bool, len(p.Tasks)),
+		iterEnd:   make([]units.Duration, p.Iterations),
+		completed: make(map[topo.RailID][]workload.TaskID),
+	}
+	if opts.RecordTrace {
+		ex.tr = &trace.Trace{}
+	}
+	for _, t := range p.Tasks {
+		ex.remaining[t.ID] = len(t.Deps)
+		for _, d := range t.Deps {
+			ex.succ[d] = append(ex.succ[d], t.ID)
+		}
+	}
+	switch opts.Mode {
+	case Electrical:
+		// No controller.
+	case Photonic:
+		// Opus gives the active group the whole NIC: stripe its ring
+		// across every port pair.
+		plan := opus.PortPlan{
+			Cluster:     p.Cluster,
+			PortsPerGPU: p.Cluster.NIC.Ports,
+			RingPairs:   p.Cluster.NIC.Ports / 2,
+		}
+		ctrl, err := opus.NewController(opus.SimClock(ex.engine), plan, opts.ReconfigLatency)
+		if err != nil {
+			return nil, err
+		}
+		ex.ctrl = ctrl
+		ex.planFor = func(*workload.Task) opus.PortPlan { return plan }
+		ex.ctrlFor = func(*workload.Task) *opus.Controller { return ctrl }
+	case PhotonicStatic:
+		if err := ex.setupStatic(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("netsim: unknown mode %d", opts.Mode)
+	}
+	return ex, nil
+}
+
+// setupStatic assigns each scale-out parallelism axis a disjoint pair of
+// NIC ports and a zero-latency controller (circuits are fixed; the
+// first acquisition installs them and they never conflict afterwards).
+func (ex *executor) setupStatic() error {
+	axes := scaleOutAxes(ex.p)
+	ports := ex.p.Cluster.NIC.Ports
+	if 2*len(axes) > ports {
+		return fmt.Errorf("netsim: static partitioning infeasible: %d scale-out axes need %d ports, NIC has %d (constraint C2)",
+			len(axes), 2*len(axes), ports)
+	}
+	plans := make(map[int]opus.PortPlan, len(axes))
+	ctrls := make(map[int]*opus.Controller, len(axes))
+	for i, a := range axes {
+		plan := opus.PortPlan{Cluster: ex.p.Cluster, PortsPerGPU: ports, PortBase: 2 * i, RingPairs: 1}
+		ctrl, err := opus.NewController(opus.SimClock(ex.engine), plan, 0)
+		if err != nil {
+			return err
+		}
+		plans[int(a)] = plan
+		ctrls[int(a)] = ctrl
+	}
+	ex.planFor = func(t *workload.Task) opus.PortPlan { return plans[int(t.Axis)] }
+	ex.ctrlFor = func(t *workload.Task) *opus.Controller { return ctrls[int(t.Axis)] }
+	return nil
+}
+
+func scaleOutAxes(p *workload.Program) []parallelism.Axis {
+	seen := map[parallelism.Axis]bool{}
+	var out []parallelism.Axis
+	for _, t := range p.Tasks {
+		if t.IsCollective() && !t.ScaleUp && !seen[t.Axis] {
+			seen[t.Axis] = true
+			out = append(out, t.Axis)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (ex *executor) run() (*Result, error) {
+	// Seed: all tasks with no dependencies.
+	for _, t := range ex.p.Tasks {
+		if ex.remaining[t.ID] == 0 {
+			t := t
+			ex.engine.Immediately(func() { ex.start(t) })
+		}
+	}
+	total := ex.engine.Run()
+	if ex.doneCount != len(ex.p.Tasks) {
+		return nil, fmt.Errorf("netsim: deadlock — %d of %d tasks incomplete",
+			len(ex.p.Tasks)-ex.doneCount, len(ex.p.Tasks))
+	}
+	res := &Result{Total: total, Trace: ex.tr, Profile: ex.buildProfile()}
+	prev := units.Duration(0)
+	for _, end := range ex.iterEnd {
+		res.IterationTimes = append(res.IterationTimes, end-prev)
+		prev = end
+	}
+	if ex.ctrl != nil {
+		st := ex.ctrl.Stats()
+		res.Reconfigurations = st.Reconfigurations
+		res.FastGrants = st.FastGrants
+		res.QueuedGrants = st.QueuedGrants
+		res.BlockedTime = st.BlockedTime
+	}
+	return res, nil
+}
+
+func (ex *executor) start(t *workload.Task) {
+	if t.Kind == workload.Compute {
+		ex.engine.After(t.Duration, func() { ex.complete(t, ex.engine.Now()-t.Duration) })
+		return
+	}
+	arrival := ex.engine.Now()
+	switch {
+	case t.ScaleUp:
+		ex.transfer(t, arrival, ex.p.Cluster.ScaleUpBandwidth, ex.p.Cluster.ScaleUpLatency, nil)
+	case ex.opts.Mode == Electrical:
+		ex.transfer(t, arrival, ex.p.Cluster.NIC.Total(), ex.p.Cluster.ScaleOutLatency, nil)
+	default:
+		ctrl := ex.ctrlFor(t)
+		if err := ctrl.Acquire(t.Rail, t.Group, func() {
+			bw := ex.circuitBandwidth(t)
+			ex.transfer(t, ex.engine.Now(), bw, ex.p.Cluster.ScaleOutLatency, func() {
+				if err := ctrl.Release(t.Rail, t.Group); err != nil {
+					panic(err)
+				}
+				ex.provisionNext(t)
+			})
+		}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// circuitBandwidth returns the bandwidth a collective sees on its
+// circuits: a ring collective rides a bidirectional double ring per port
+// pair (two circuits per member per pair); Send/Recv rides the circuits
+// joining its endpoint pair.
+func (ex *executor) circuitBandwidth(t *workload.Task) units.Bandwidth {
+	perPort := ex.p.Cluster.NIC.PerPort
+	plan := ex.planFor(t)
+	if t.CollKind == collective.SendRecv && len(t.Ranks) == 2 {
+		m, err := plan.CircuitsFor(t.Group)
+		if err != nil {
+			panic(err)
+		}
+		n := plan.CircuitsBetween(m, t.Ranks[0], t.Ranks[1])
+		if n == 0 {
+			n = 1 // degenerate; never happens for ring-adjacent pairs
+		}
+		return units.Bandwidth(int64(n) * int64(perPort))
+	}
+	pairs := plan.RingPairs
+	if pairs <= 0 {
+		pairs = 1
+	}
+	return units.Bandwidth(2 * int64(pairs) * int64(perPort))
+}
+
+// transfer runs the collective's α–β duration and completes the task.
+func (ex *executor) transfer(t *workload.Task, start units.Duration, bw units.Bandwidth, alpha units.Duration, release func()) {
+	onCircuits := ex.opts.Mode != Electrical && !t.ScaleUp
+	alg := collective.DefaultAlgorithm(t.CollKind, onCircuits)
+	k := len(t.Ranks)
+	if t.CollKind != collective.SendRecv {
+		k = t.Group.Size()
+	}
+	d, err := collective.Time(t.CollKind, alg, k, t.Bytes, bw, alpha)
+	if err != nil {
+		panic(fmt.Sprintf("netsim: %s: %v", t.Label, err))
+	}
+	ex.engine.After(d, func() {
+		if release != nil {
+			release()
+		}
+		ex.complete(t, start)
+	})
+}
+
+func (ex *executor) complete(t *workload.Task, start units.Duration) {
+	if ex.done[t.ID] {
+		panic(fmt.Sprintf("netsim: task %s completed twice", t.Label))
+	}
+	ex.done[t.ID] = true
+	ex.doneCount++
+	now := ex.engine.Now()
+	if now > ex.iterEnd[t.Iteration] {
+		ex.iterEnd[t.Iteration] = now
+	}
+	if t.IsCollective() && !t.ScaleUp {
+		ex.completed[t.Rail] = append(ex.completed[t.Rail], t.ID)
+	}
+	if ex.tr != nil && t.IsCollective() {
+		rail := t.Rail
+		if t.ScaleUp {
+			rail = trace.ScaleUpRail
+		}
+		ex.tr.Add(trace.Span{
+			Label:      t.Label,
+			Kind:       t.CollKind,
+			Axis:       t.Axis,
+			Group:      t.Group.Name,
+			Rail:       rail,
+			Ranks:      t.Ranks,
+			Bytes:      t.Bytes,
+			Start:      start,
+			End:        now,
+			Iteration:  t.Iteration,
+			Phase:      t.Phase,
+			Microbatch: t.Microbatch,
+		})
+	}
+	for _, s := range ex.succ[t.ID] {
+		ex.remaining[s]--
+		if ex.remaining[s] == 0 {
+			st := ex.p.Tasks[s]
+			ex.engine.Immediately(func() { ex.start(st) })
+		}
+	}
+}
+
+// provisionNext implements the shim's speculative request: when a
+// scale-out collective releases its circuits, the profiled schedule
+// names the next group on the rail; if it differs, the controller can
+// begin reconfiguring inside the window (§4.1, Fig. 5b).
+func (ex *executor) provisionNext(t *workload.Task) {
+	if !ex.opts.Provision || ex.opts.Profile == nil {
+		return
+	}
+	plan := ex.planFor(t)
+	for _, g := range ex.opts.Profile.upcomingGroups(ex.p.Tasks, t, plan) {
+		if err := ex.ctrlFor(t).Provision(t.Rail, g); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// buildProfile converts the observed per-rail completion order into the
+// provisioning profile for a subsequent run.
+func (ex *executor) buildProfile() *Profile {
+	prof := &Profile{
+		order: make(map[topo.RailID][]workload.TaskID, len(ex.completed)),
+		pos:   make(map[workload.TaskID]int),
+	}
+	for rail, ids := range ex.completed {
+		cp := make([]workload.TaskID, len(ids))
+		copy(cp, ids)
+		prof.order[rail] = cp
+		for i, id := range ids {
+			prof.pos[id] = i
+		}
+	}
+	return prof
+}

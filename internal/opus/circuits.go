@@ -1,0 +1,146 @@
+// Package opus implements the paper's control plane for photonic rails:
+// a per-rail circuit controller that time-multiplexes optical circuit
+// switches across the communication groups of a hybrid-parallel ML job.
+//
+// The controller realizes the design sketch of §4.1:
+//
+//   - communication groups map deterministically to ring circuits on
+//     their rail (the circuit lookup table);
+//   - requests are served first-come-first-served within each rail
+//     (Objective 3's conflict avoidance);
+//   - a reconfiguration may only begin once the circuits it tears down
+//     are idle, and costs the OCS technology's switching latency;
+//   - with provisioning, the shim issues speculative requests as soon as
+//     the previous parallelism phase's traffic completes, hiding the
+//     switching latency inside the inter-parallelism window (Fig. 5).
+package opus
+
+import (
+	"fmt"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/ocs"
+	"photonrail/internal/topo"
+)
+
+// PortPlan maps GPUs to OCS ports on their rail. Every GPU owns
+// PortsPerGPU consecutive ports starting at node-index × PortsPerGPU;
+// PortBase shifts the pair used, which realizes static NIC-port
+// partitioning (constraint C3: axis a uses ports {base, base+1}).
+type PortPlan struct {
+	Cluster     *topo.Cluster
+	PortsPerGPU int
+	// PortBase selects the first of the GPU's ports the circuits use
+	// (0 for Opus time multiplexing; 2·axisIndex for static splits).
+	PortBase int
+	// RingPairs is how many parallel rings a group's circuits stripe
+	// across (each ring consumes a tx/rx port pair per member). Opus
+	// gives the active group the whole NIC (Ports/2 pairs); a static
+	// partition pins each axis to one pair — constraint C3's bandwidth
+	// fragmentation. Zero means 1.
+	RingPairs int
+}
+
+// ringPairs normalizes the zero value.
+func (p PortPlan) ringPairs() int {
+	if p.RingPairs <= 0 {
+		return 1
+	}
+	return p.RingPairs
+}
+
+// Validate checks the plan fits the NIC.
+func (p PortPlan) Validate() error {
+	if p.Cluster == nil {
+		return fmt.Errorf("opus: port plan without cluster")
+	}
+	if p.PortsPerGPU <= 0 {
+		return fmt.Errorf("opus: %d ports per GPU", p.PortsPerGPU)
+	}
+	if p.PortBase < 0 || p.PortBase+2*p.ringPairs() > p.PortsPerGPU {
+		return fmt.Errorf("opus: port base %d + %d ring pairs outside %d-port NIC",
+			p.PortBase, p.ringPairs(), p.PortsPerGPU)
+	}
+	return nil
+}
+
+// TxPort returns the "toward ring successor" port of g for ring pair j.
+func (p PortPlan) TxPort(g topo.GPUID, j int) ocs.Port {
+	return ocs.Port(int(p.Cluster.Node(g))*p.PortsPerGPU + p.PortBase + 2*j)
+}
+
+// RxPort returns the "from ring predecessor" port of g for ring pair j.
+func (p PortPlan) RxPort(g topo.GPUID, j int) ocs.Port {
+	return ocs.Port(int(p.Cluster.Node(g))*p.PortsPerGPU + p.PortBase + 2*j + 1)
+}
+
+// Radix returns the rail switch radix the plan requires.
+func (p PortPlan) Radix() int { return p.Cluster.NumNodes * p.PortsPerGPU }
+
+// CircuitsFor returns the ring matching a communication group needs on
+// its rail: member i's tx port connects to member i+1's rx port. All
+// group members must share one rail (rail-aligned groups are the
+// defining property of the rail-optimized layout).
+func (p PortPlan) CircuitsFor(g *collective.Group) (ocs.Matching, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(g.Ranks) < 2 {
+		return nil, fmt.Errorf("opus: group %s has no peers", g.Name)
+	}
+	rail := p.Cluster.Rail(g.Ranks[0])
+	for _, r := range g.Ranks {
+		if p.Cluster.Rail(r) != rail {
+			return nil, fmt.Errorf("opus: group %s spans rails %d and %d", g.Name, rail, p.Cluster.Rail(r))
+		}
+	}
+	m := ocs.Matching{}
+	n := len(g.Ranks)
+	for j := 0; j < p.ringPairs(); j++ {
+		for i, a := range g.Ranks {
+			b := g.Ranks[(i+1)%n]
+			if err := m.Connect(p.TxPort(a, j), p.RxPort(b, j)); err != nil {
+				return nil, fmt.Errorf("opus: group %s: %w", g.Name, err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// GroupsConflict reports whether two groups' circuits share any switch
+// port (and therefore cannot be installed simultaneously).
+func (p PortPlan) GroupsConflict(a, b *collective.Group) (bool, error) {
+	ma, err := p.CircuitsFor(a)
+	if err != nil {
+		return false, err
+	}
+	mb, err := p.CircuitsFor(b)
+	if err != nil {
+		return false, err
+	}
+	for port := range ma {
+		if _, ok := mb.Peer(port); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// CircuitsBetween counts the circuits of matching m that join GPUs a and
+// b under this plan; a pipeline Send/Recv's bandwidth is this count times
+// the per-port rate.
+func (p PortPlan) CircuitsBetween(m ocs.Matching, a, b topo.GPUID) int {
+	count := 0
+	for j := 0; j < p.ringPairs(); j++ {
+		pairs := [][2]ocs.Port{
+			{p.TxPort(a, j), p.RxPort(b, j)},
+			{p.TxPort(b, j), p.RxPort(a, j)},
+		}
+		for _, pr := range pairs {
+			if peer, ok := m.Peer(pr[0]); ok && peer == pr[1] {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,403 @@
+package opus
+
+import (
+	"fmt"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/ocs"
+	"photonrail/internal/sim"
+	"photonrail/internal/topo"
+	"photonrail/internal/units"
+)
+
+// Clock abstracts time for the controller: the discrete-event engine in
+// simulation, wall-clock timers in the real (TCP) control plane. After
+// must run fn later than (or, for d == 0, after the caller returns at)
+// the current instant; Immediately is After(0).
+type Clock interface {
+	Now() units.Duration
+	After(d units.Duration, fn func())
+	Immediately(fn func())
+}
+
+// engineClock adapts *sim.Engine (whose After returns *sim.Event) to
+// Clock.
+type engineClock struct{ e *sim.Engine }
+
+func (c engineClock) Now() units.Duration               { return c.e.Now() }
+func (c engineClock) After(d units.Duration, fn func()) { c.e.After(d, fn) }
+func (c engineClock) Immediately(fn func())             { c.e.Immediately(fn) }
+
+// SimClock wraps a discrete-event engine as a controller Clock.
+func SimClock(e *sim.Engine) Clock { return engineClock{e} }
+
+// Stats aggregates controller telemetry across rails.
+type Stats struct {
+	// Reconfigurations counts completed circuit reconfigurations.
+	Reconfigurations int
+	// FastGrants counts acquisitions served from already-installed
+	// circuits (Objective 2: reconfigure only when the demand changes).
+	FastGrants int
+	// QueuedGrants counts acquisitions that had to wait.
+	QueuedGrants int
+	// BlockedTime sums, over queued acquisitions, the delay between the
+	// collective's arrival and its grant — the reconfiguration overhead
+	// visible to the application.
+	BlockedTime units.Duration
+	// ProvisionedRequests counts speculative (shim-issued) requests.
+	ProvisionedRequests int
+}
+
+// request is one queued circuit acquisition on a rail.
+type request struct {
+	group    *collective.Group
+	circuits ocs.Matching
+	// waiters are grant callbacks attached by Acquire; a purely
+	// speculative (provisioned) request may have none yet.
+	waiters []func()
+	// arrivals records when each waiter's collective arrived, for
+	// BlockedTime accounting.
+	arrivals []units.Duration
+	// inFlight marks the request as part of the reconfiguration batch
+	// currently actuating; such requests can no longer be cancelled.
+	inFlight bool
+}
+
+// railState is the controller's per-rail view.
+type railState struct {
+	// sw is the device; its matching is the union of installed groups'
+	// circuits.
+	sw *ocs.Switch
+	// installed maps group name -> its circuits, currently set up.
+	installed map[string]ocs.Matching
+	// active counts in-flight transfers per installed group.
+	active map[string]int
+	// queue is the FC-FS request queue.
+	queue []*request
+	// reconfiguring marks an in-progress switch reconfiguration.
+	reconfiguring bool
+	// processScheduled marks a pending deferred queue scan; deferring to
+	// the end of the current instant lets same-instant requests coalesce
+	// into one physical reconfiguration.
+	processScheduled bool
+}
+
+// Controller is the Opus controller: it owns every rail's OCS and serves
+// circuit acquisitions from the shims.
+type Controller struct {
+	clock   Clock
+	plan    PortPlan
+	latency units.Duration
+	rails   map[topo.RailID]*railState
+	stats   Stats
+}
+
+// NewController builds a controller for every rail of the plan's
+// cluster, with the given reconfiguration latency. The OCS radix is
+// sized to the plan (tech describes latency/radix bookkeeping only; the
+// latency argument wins so sweeps can explore Fig. 8's x-axis).
+func NewController(clock Clock, plan PortPlan, latency units.Duration) (*Controller, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("opus: negative reconfiguration latency")
+	}
+	c := &Controller{
+		clock:   clock,
+		plan:    plan,
+		latency: latency,
+		rails:   make(map[topo.RailID]*railState),
+	}
+	tech := ocs.Technology{Name: "sweep", Vendor: "sim", ReconfigTime: latency, Radix: plan.Radix()}
+	for r := 0; r < plan.Cluster.NumRails(); r++ {
+		c.rails[topo.RailID(r)] = &railState{
+			sw:        ocs.NewSwitch(fmt.Sprintf("rail%d-ocs", r), tech),
+			installed: make(map[string]ocs.Matching),
+			active:    make(map[string]int),
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the accumulated telemetry.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Latency returns the configured reconfiguration latency.
+func (c *Controller) Latency() units.Duration { return c.latency }
+
+// Installed reports whether the group's circuits are currently set up.
+func (c *Controller) Installed(rail topo.RailID, group string) bool {
+	rs := c.rails[rail]
+	if rs == nil {
+		return false
+	}
+	_, ok := rs.installed[group]
+	return ok
+}
+
+// Acquire requests circuits for group on rail. granted runs (possibly
+// immediately) once the circuits are installed; the caller must pair it
+// with Release when the transfer completes.
+func (c *Controller) Acquire(rail topo.RailID, group *collective.Group, granted func()) error {
+	rs := c.rails[rail]
+	if rs == nil {
+		return fmt.Errorf("opus: unknown rail %d", rail)
+	}
+	if live, ok := rs.installed[group.Name]; ok {
+		// Speculation yields to demand: a queued waiterless (shim-
+		// provisioned) request that would tear our live circuits was a
+		// mis-prediction — cancel it rather than stall real traffic
+		// behind it. It re-enters when its group actually communicates.
+		c.cancelSpeculation(rs, live)
+		if !c.pendingConflicts(rs, group.Name) {
+			// Fast path: circuits live and no queued demand
+			// reconfiguration is about to tear them down ahead of us.
+			c.stats.FastGrants++
+			rs.active[group.Name]++
+			granted()
+			return nil
+		}
+	}
+	c.stats.QueuedGrants++
+	arrival := c.clock.Now()
+	wrapped := func() {
+		rs.active[group.Name]++
+		c.stats.BlockedTime += c.clock.Now() - arrival
+		granted()
+	}
+	if req := c.findPending(rs, group.Name); req != nil {
+		req.waiters = append(req.waiters, wrapped)
+		req.arrivals = append(req.arrivals, arrival)
+	} else {
+		circuits, err := c.plan.CircuitsFor(group)
+		if err != nil {
+			return err
+		}
+		rs.queue = append(rs.queue, &request{
+			group:    group,
+			circuits: circuits,
+			waiters:  []func(){wrapped},
+			arrivals: []units.Duration{arrival},
+		})
+	}
+	c.process(rs)
+	return nil
+}
+
+// Provision enqueues a speculative request for group on rail without a
+// waiter: the shim predicts the group is about to communicate, so the
+// controller can overlap the reconfiguration with the current
+// inter-parallelism window (Fig. 5b).
+func (c *Controller) Provision(rail topo.RailID, group *collective.Group) error {
+	rs := c.rails[rail]
+	if rs == nil {
+		return fmt.Errorf("opus: unknown rail %d", rail)
+	}
+	if _, ok := rs.installed[group.Name]; ok && !c.pendingConflicts(rs, group.Name) {
+		return nil // already live
+	}
+	if c.findPending(rs, group.Name) != nil {
+		return nil // already requested
+	}
+	circuits, err := c.plan.CircuitsFor(group)
+	if err != nil {
+		return err
+	}
+	c.stats.ProvisionedRequests++
+	rs.queue = append(rs.queue, &request{group: group, circuits: circuits})
+	c.process(rs)
+	return nil
+}
+
+// Release marks one transfer of group on rail complete and lets the
+// controller make progress on queued reconfigurations.
+func (c *Controller) Release(rail topo.RailID, group *collective.Group) error {
+	rs := c.rails[rail]
+	if rs == nil {
+		return fmt.Errorf("opus: unknown rail %d", rail)
+	}
+	if rs.active[group.Name] <= 0 {
+		return fmt.Errorf("opus: release of inactive group %s on rail %d", group.Name, rail)
+	}
+	rs.active[group.Name]--
+	if rs.active[group.Name] == 0 {
+		delete(rs.active, group.Name)
+	}
+	c.process(rs)
+	return nil
+}
+
+// cancelSpeculation removes queued waiterless requests whose circuits
+// conflict with the given live circuits. An in-flight reconfiguration
+// cannot be recalled; only still-queued speculation is dropped.
+func (c *Controller) cancelSpeculation(rs *railState, live ocs.Matching) {
+	kept := rs.queue[:0]
+	for _, req := range rs.queue {
+		if len(req.waiters) == 0 && !req.inFlight && conflicts(req.circuits, live) {
+			continue
+		}
+		kept = append(kept, req)
+	}
+	rs.queue = kept
+}
+
+// findPending returns the queued request for the named group, if any.
+func (c *Controller) findPending(rs *railState, group string) *request {
+	for _, r := range rs.queue {
+		if r.group.Name == group {
+			return r
+		}
+	}
+	return nil
+}
+
+// pendingConflicts reports whether any queued request will tear down the
+// named installed group. Granting past it would let traffic pin circuits
+// the head-of-line reconfiguration is waiting to remove, starving it —
+// the control divergence Objective 3 forbids.
+func (c *Controller) pendingConflicts(rs *railState, group string) bool {
+	installed, ok := rs.installed[group]
+	if !ok {
+		return false
+	}
+	for _, req := range rs.queue {
+		if conflicts(installed, req.circuits) {
+			return true
+		}
+	}
+	return false
+}
+
+// conflicts reports whether two matchings share any port.
+func conflicts(a, b ocs.Matching) bool {
+	for p := range a {
+		if _, ok := b.Peer(p); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// process schedules a deferred queue scan at the end of the current
+// instant, so requests issued together (e.g. both data shards of one
+// parallelism phase) coalesce into a single physical reconfiguration.
+func (c *Controller) process(rs *railState) {
+	if rs.reconfiguring || rs.processScheduled || len(rs.queue) == 0 {
+		return
+	}
+	rs.processScheduled = true
+	c.clock.Immediately(func() {
+		rs.processScheduled = false
+		c.processNow(rs)
+	})
+}
+
+// processNow drives the FC-FS queue of one rail. It serves the longest
+// serviceable prefix of the queue in one reconfiguration: an OCS moves
+// any number of ports in a single switching actuation, so batching
+// compatible requests costs one latency, not one per group.
+func (c *Controller) processNow(rs *railState) {
+	if rs.reconfiguring {
+		return
+	}
+	// Serve queued requests whose circuits are already installed
+	// (a previous batch may have covered them).
+	for len(rs.queue) > 0 {
+		if _, ok := rs.installed[rs.queue[0].group.Name]; !ok {
+			break
+		}
+		c.grant(rs, rs.queue[0])
+	}
+	if len(rs.queue) == 0 {
+		return
+	}
+	// Grow the batch from the head: stop at the first request that
+	// conflicts with the batch or whose tear-down targets are busy.
+	// Stopping (rather than skipping) preserves FC-FS order.
+	var batch []*request
+	pending := ocs.Matching{} // union of the batch's new circuits
+	tearDown := map[string]bool{}
+	for _, req := range rs.queue {
+		if conflicts(req.circuits, pending) {
+			break
+		}
+		serviceable := true
+		var reqTears []string
+		for name, m := range rs.installed {
+			if tearDown[name] {
+				continue // already being torn down by this batch
+			}
+			if conflicts(m, req.circuits) {
+				if rs.active[name] > 0 {
+					serviceable = false
+					break
+				}
+				reqTears = append(reqTears, name)
+			}
+		}
+		if !serviceable {
+			break
+		}
+		for _, name := range reqTears {
+			tearDown[name] = true
+		}
+		for p, q := range req.circuits {
+			pending[p] = q
+		}
+		req.inFlight = true
+		batch = append(batch, req)
+	}
+	if len(batch) == 0 {
+		return // head blocked on busy circuits: retry on Release
+	}
+	// One physical reconfiguration: tear down, wait the switching
+	// latency, set up, grant in queue order.
+	rs.reconfiguring = true
+	next := rs.sw.Current()
+	for name := range tearDown {
+		for p := range rs.installed[name] {
+			next.Disconnect(p)
+		}
+		delete(rs.installed, name)
+	}
+	if err := rs.sw.Apply(next); err != nil {
+		panic(fmt.Sprintf("opus: tear-down of idle circuits failed: %v", err))
+	}
+	c.clock.After(c.latency, func() {
+		next := rs.sw.Current()
+		for _, req := range batch {
+			for p, q := range req.circuits {
+				if p < q {
+					if err := next.Connect(p, q); err != nil {
+						panic(fmt.Sprintf("opus: set-up failed: %v", err))
+					}
+				}
+			}
+		}
+		if err := rs.sw.Apply(next); err != nil {
+			panic(fmt.Sprintf("opus: set-up apply failed: %v", err))
+		}
+		for _, req := range batch {
+			rs.installed[req.group.Name] = req.circuits
+		}
+		rs.reconfiguring = false
+		c.stats.Reconfigurations++
+		for range batch {
+			c.grant(rs, rs.queue[0])
+		}
+		c.processNow(rs)
+	})
+}
+
+// grant pops the head request (which must be installed) and runs its
+// waiters in arrival order.
+func (c *Controller) grant(rs *railState, head *request) {
+	if rs.queue[0] != head {
+		panic("opus: grant out of FC-FS order")
+	}
+	rs.queue = rs.queue[1:]
+	for _, w := range head.waiters {
+		w()
+	}
+}

@@ -1,0 +1,146 @@
+package opusnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"photonrail/internal/opus"
+	"photonrail/internal/units"
+)
+
+// Client is one rank's shim connection to the Opus controller.
+type Client struct {
+	rank int
+	conn net.Conn
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan *Message
+	readErr error
+	closed  chan struct{}
+}
+
+// Dial connects rank's shim to the controller at addr.
+func Dial(addr string, rank int) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		rank:    rank,
+		conn:    conn,
+		pending: make(map[uint64]chan *Message),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; outstanding calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Rank returns the client's global rank.
+func (c *Client) Rank() int { return c.rank }
+
+func (c *Client) readLoop() {
+	for {
+		msg, err := ReadMessage(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = make(map[uint64]chan *Message)
+			c.mu.Unlock()
+			close(c.closed)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msg.Seq]
+		if ok {
+			delete(c.pending, msg.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// call sends a request and blocks for its reply.
+func (c *Client) call(m *Message) (*Message, error) {
+	ch := make(chan *Message, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("opusnet: connection down: %w", err)
+	}
+	c.seq++
+	m.Seq = c.seq
+	m.Rank = c.rank
+	c.pending[m.Seq] = ch
+	c.mu.Unlock()
+	if err := WriteMessage(c.conn, m); err != nil {
+		c.mu.Lock()
+		delete(c.pending, m.Seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("opusnet: connection closed awaiting reply")
+	}
+	if resp.Type == MsgErr {
+		return nil, fmt.Errorf("opusnet: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// RegisterGroup declares a communication group in the controller's
+// comm-group table. Every member's shim registers the same definition.
+func (c *Client) RegisterGroup(name string, rail int, axis int, ranks []int) error {
+	_, err := c.call(&Message{Type: MsgRegister, Group: name, Rail: rail, Axis: axis, Ranks: ranks})
+	return err
+}
+
+// Acquire blocks until the group's circuits are granted to this rank.
+// Per the §4.1 group-sync step, the grant arrives only once every member
+// rank has called Acquire and the rail reconfigured if needed.
+func (c *Client) Acquire(group string, rail int) error {
+	_, err := c.call(&Message{Type: MsgAcquire, Group: group, Rail: rail})
+	return err
+}
+
+// Release reports this rank's transfer on the group's circuits is done.
+func (c *Client) Release(group string, rail int) error {
+	_, err := c.call(&Message{Type: MsgRelease, Group: group, Rail: rail})
+	return err
+}
+
+// Provision sends the shim's speculative reconfiguration intent.
+func (c *Client) Provision(group string, rail int) error {
+	_, err := c.call(&Message{Type: MsgProvision, Group: group, Rail: rail})
+	return err
+}
+
+// Stats fetches controller telemetry.
+func (c *Client) Stats() (opus.Stats, error) {
+	resp, err := c.call(&Message{Type: MsgStatsReq})
+	if err != nil {
+		return opus.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return opus.Stats{}, fmt.Errorf("opusnet: stats reply without payload")
+	}
+	return opus.Stats{
+		Reconfigurations:    resp.Stats.Reconfigurations,
+		FastGrants:          resp.Stats.FastGrants,
+		QueuedGrants:        resp.Stats.QueuedGrants,
+		BlockedTime:         units.Duration(resp.Stats.BlockedTimeNS),
+		ProvisionedRequests: resp.Stats.ProvisionedRequests,
+	}, nil
+}

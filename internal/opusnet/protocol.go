@@ -1,0 +1,120 @@
+// Package opusnet is the Opus control plane as deployable software: the
+// controller runs as a TCP server ("the control plane remains electrical
+// and host-driven", §2.1) and every scale-up domain's shim connects as a
+// client. The wire protocol is length-prefixed JSON.
+//
+// The server reuses the exact FC-FS controller logic of internal/opus
+// (driven by a wall-clock Clock instead of the discrete-event engine)
+// and adds the §4.1 group-sync step: a reconfiguration request is acted
+// on only once every rank of the communication group has issued it, and
+// all ranks are acknowledged together.
+package opusnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MsgType discriminates wire messages.
+type MsgType string
+
+// The protocol messages. Clients send Register/Acquire/Release/
+// Provision/StatsReq; the server replies with Ack/Err/StatsResp.
+const (
+	// MsgRegister declares a communication group (name, rail, members).
+	// Idempotent; all members must register identically.
+	MsgRegister MsgType = "register"
+	// MsgAcquire asks for the group's circuits; acknowledged when every
+	// member rank has asked and the circuits are installed.
+	MsgAcquire MsgType = "acquire"
+	// MsgRelease reports the rank's transfer on the group's circuits is
+	// done.
+	MsgRelease MsgType = "release"
+	// MsgProvision is the shim's speculative reconfiguration intent.
+	MsgProvision MsgType = "provision"
+	// MsgStatsReq asks for controller telemetry.
+	MsgStatsReq MsgType = "stats"
+	// MsgAck acknowledges an Acquire (circuits granted), Register,
+	// Release, or Provision.
+	MsgAck MsgType = "ack"
+	// MsgErr reports a request failure.
+	MsgErr MsgType = "error"
+	// MsgStatsResp carries telemetry.
+	MsgStatsResp MsgType = "stats_resp"
+)
+
+// Message is the single wire envelope.
+type Message struct {
+	Type MsgType `json:"type"`
+	// Seq correlates a request with its ack; unique per connection.
+	Seq uint64 `json:"seq"`
+	// Rank is the sender's global rank.
+	Rank int `json:"rank,omitempty"`
+	// Rail is the rail the request concerns.
+	Rail int `json:"rail,omitempty"`
+	// Group names the communication group.
+	Group string `json:"group,omitempty"`
+	// Ranks lists group members (Register only).
+	Ranks []int `json:"ranks,omitempty"`
+	// Axis is the parallelism axis of the group (Register only).
+	Axis int `json:"axis,omitempty"`
+	// Error carries the failure reason (MsgErr).
+	Error string `json:"error,omitempty"`
+	// Stats carries telemetry (MsgStatsResp).
+	Stats *StatsPayload `json:"stats,omitempty"`
+}
+
+// StatsPayload mirrors opus.Stats over the wire.
+type StatsPayload struct {
+	Reconfigurations    int   `json:"reconfigurations"`
+	FastGrants          int   `json:"fast_grants"`
+	QueuedGrants        int   `json:"queued_grants"`
+	BlockedTimeNS       int64 `json:"blocked_time_ns"`
+	ProvisionedRequests int   `json:"provisioned_requests"`
+}
+
+// maxFrame bounds a frame to keep a malformed peer from ballooning
+// memory.
+const maxFrame = 1 << 20
+
+// WriteMessage frames and writes one message: a 4-byte big-endian length
+// followed by the JSON body.
+func WriteMessage(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("opusnet: marshal: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("opusnet: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("opusnet: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("opusnet: unmarshal: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,77 @@
+package opusnet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// Property: WriteMessage/ReadMessage round-trip any message, and
+// consecutive frames on one stream stay delimited.
+func TestProtocolRoundTripProperty(t *testing.T) {
+	f := func(typ string, seq uint64, rank, rail int, group string, ranks []int, errStr string) bool {
+		in := &Message{
+			Type:  MsgType(typ),
+			Seq:   seq,
+			Rank:  rank,
+			Rail:  rail,
+			Group: group,
+			Ranks: ranks,
+			Error: errStr,
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, in); err != nil {
+			return false
+		}
+		// A second frame back-to-back.
+		second := &Message{Type: MsgAck, Seq: seq + 1}
+		if err := WriteMessage(&buf, second); err != nil {
+			return false
+		}
+		out, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		if out.Type != in.Type || out.Seq != in.Seq || out.Rank != in.Rank ||
+			out.Rail != in.Rail || out.Group != in.Group || out.Error != in.Error {
+			return false
+		}
+		if len(out.Ranks) != len(in.Ranks) {
+			return false
+		}
+		for i := range in.Ranks {
+			if out.Ranks[i] != in.Ranks[i] {
+				return false
+			}
+		}
+		out2, err := ReadMessage(&buf)
+		if err != nil || out2.Type != MsgAck || out2.Seq != seq+1 {
+			return false
+		}
+		// Stream fully consumed.
+		_, err = ReadMessage(&buf)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncating a valid frame at any byte yields an error, never
+// a wrong message.
+func TestProtocolTruncationProperty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgAcquire, Seq: 42, Group: "fsdp.s0.r0", Ranks: []int{0, 4, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadMessage(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes produced a message", cut, len(full))
+		}
+	}
+	if m, err := ReadMessage(bytes.NewReader(full)); err != nil || m.Seq != 42 {
+		t.Fatalf("full frame failed: %v", err)
+	}
+}

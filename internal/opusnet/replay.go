@@ -1,0 +1,165 @@
+package opusnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"photonrail/internal/topo"
+	"photonrail/internal/workload"
+)
+
+// Replay drives a workload program's scale-out collectives through a
+// live controller at addr: one shim client per participating GPU, every
+// group registered, and every collective acquired and released in
+// dependency order. It exercises the full wire protocol — registration,
+// group sync, FC-FS reconfiguration, release — against the real server,
+// making it an end-to-end integration check of the control plane against
+// the same programs the simulator runs.
+//
+// Replay does not simulate time: collectives complete as fast as the
+// controller grants circuits. It returns the number of collectives
+// driven.
+func Replay(addr string, p *workload.Program) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	// One client per GPU that participates in any scale-out collective.
+	clients := make(map[topo.GPUID]*Client)
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+	clientFor := func(g topo.GPUID) (*Client, error) {
+		if c, ok := clients[g]; ok {
+			return c, nil
+		}
+		c, err := Dial(addr, int(g))
+		if err != nil {
+			return nil, err
+		}
+		clients[g] = c
+		return c, nil
+	}
+
+	// Register every group once per member.
+	groupNames := make([]string, 0, len(p.Groups))
+	for name := range p.Groups {
+		groupNames = append(groupNames, name)
+	}
+	sort.Strings(groupNames)
+	for _, name := range groupNames {
+		g := p.Groups[name]
+		rail := int(p.Cluster.Rail(g.Ranks[0]))
+		members := make([]int, len(g.Ranks))
+		for i, r := range g.Ranks {
+			members[i] = int(r)
+		}
+		for _, r := range g.Ranks {
+			c, err := clientFor(r)
+			if err != nil {
+				return 0, err
+			}
+			if err := c.RegisterGroup(name, rail, int(g.Axis), members); err != nil {
+				return 0, fmt.Errorf("opusnet: register %s for rank %d: %w", name, r, err)
+			}
+		}
+	}
+
+	// Walk the DAG in dependency order; compute tasks complete
+	// instantly, collectives acquire+release over the wire. Collectives
+	// whose dependencies are met run concurrently (their group-sync and
+	// FC-FS ordering is the controller's job).
+	remaining := make([]int, len(p.Tasks))
+	ready := make(chan workload.TaskID, len(p.Tasks))
+	var mu sync.Mutex
+	for _, t := range p.Tasks {
+		remaining[t.ID] = len(t.Deps)
+		if len(t.Deps) == 0 {
+			ready <- t.ID
+		}
+	}
+	succ := make([][]workload.TaskID, len(p.Tasks))
+	for _, t := range p.Tasks {
+		for _, d := range t.Deps {
+			succ[d] = append(succ[d], t.ID)
+		}
+	}
+	complete := func(id workload.TaskID) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range succ[id] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				ready <- s
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	// Ops of one communication group serialize (NCCL orders kernels per
+	// communicator); concurrent acquires for the same group by one rank
+	// would also violate the server's pending-acquire rule.
+	groupMu := make(map[string]*sync.Mutex, len(p.Groups))
+	for name := range p.Groups {
+		groupMu[name] = &sync.Mutex{}
+	}
+	collectives := 0
+	done := 0
+	for done < len(p.Tasks) {
+		select {
+		case err := <-errCh:
+			return collectives, err
+		case id := <-ready:
+			done++
+			t := p.Tasks[id]
+			if !t.IsCollective() || t.ScaleUp {
+				complete(id) // compute and scale-up ops are immediate
+				continue
+			}
+			collectives++
+			wg.Add(1)
+			go func(t *workload.Task) {
+				defer wg.Done()
+				mu := groupMu[t.Group.Name]
+				mu.Lock()
+				defer mu.Unlock()
+				rail := int(t.Rail)
+				// Every member of the group acquires (group sync needs
+				// all of them), then releases.
+				var gwg sync.WaitGroup
+				for _, r := range t.Group.Ranks {
+					c := clients[r]
+					gwg.Add(1)
+					go func(c *Client) {
+						defer gwg.Done()
+						if err := c.Acquire(t.Group.Name, rail); err != nil {
+							fail(fmt.Errorf("opusnet: %s acquire: %w", t.Label, err))
+							return
+						}
+						if err := c.Release(t.Group.Name, rail); err != nil {
+							fail(fmt.Errorf("opusnet: %s release: %w", t.Label, err))
+						}
+					}(c)
+				}
+				gwg.Wait()
+				complete(t.ID)
+			}(t)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return collectives, err
+	default:
+	}
+	return collectives, nil
+}

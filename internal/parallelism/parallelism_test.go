@@ -1,0 +1,371 @@
+package parallelism
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func paper3D(t *testing.T) *Strategy {
+	t.Helper()
+	// The §3.1 workload: Llama3-8B with TP=4 (intra-node), FSDP=2, PP=2.
+	s, err := NewStrategy(Dim{TP, 4}, Dim{FSDP, 2}, Dim{PP, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStrategyWorldSize(t *testing.T) {
+	s := paper3D(t)
+	if s.WorldSize() != 16 {
+		t.Errorf("WorldSize = %d, want 16", s.WorldSize())
+	}
+	if s.Degree(TP) != 4 || s.Degree(FSDP) != 2 || s.Degree(PP) != 2 {
+		t.Error("Degree wrong")
+	}
+	if s.Degree(CP) != 1 || s.Has(CP) {
+		t.Error("absent axis should have degree 1")
+	}
+	if got := s.String(); got != "TP=4 x FSDP=2 x PP=2" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	cases := [][]Dim{
+		{{TP, 0}},
+		{{TP, -2}},
+		{{TP, 2}, {TP, 2}},
+		{{DP, 2}, {FSDP, 2}},
+		{{TP, 2}, {TPSP, 2}},
+	}
+	for i, dims := range cases {
+		if _, err := NewStrategy(dims...); err == nil {
+			t.Errorf("case %d accepted: %v", i, dims)
+		}
+	}
+}
+
+func TestCoordinatesRoundTrip(t *testing.T) {
+	s := paper3D(t)
+	// Rank 0: TP=0, FSDP=0, PP=0. Rank 5: 5 = 1 + 4*1 -> TP=1, FSDP=1, PP=0.
+	c := s.Coordinates(5)
+	if c[0] != 1 || c[1] != 1 || c[2] != 0 {
+		t.Errorf("Coordinates(5) = %v", c)
+	}
+	if got := s.Rank([]int{1, 1, 0}); got != 5 {
+		t.Errorf("Rank([1 1 0]) = %d", got)
+	}
+	if s.Coordinate(13, PP) != 1 { // 13 = 1 + 4*1 + 8*1
+		t.Errorf("Coordinate(13, PP) = %d", s.Coordinate(13, PP))
+	}
+	if s.Coordinate(13, EP) != 0 {
+		t.Error("absent axis coordinate should be 0")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	s := paper3D(t)
+	// TP group of rank 0: ranks 0..3 (innermost).
+	g := s.Group(0, TP)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("TP group of 0 = %v", g)
+		}
+	}
+	// PP group of rank 0: {0, 8} (stride 8).
+	g = s.Group(0, PP)
+	if len(g) != 2 || g[0] != 0 || g[1] != 8 {
+		t.Errorf("PP group of 0 = %v", g)
+	}
+	// FSDP group of rank 2: {2, 6}.
+	g = s.Group(2, FSDP)
+	if len(g) != 2 || g[0] != 2 || g[1] != 6 {
+		t.Errorf("FSDP group of 2 = %v", g)
+	}
+	// Absent axis: singleton.
+	g = s.Group(7, EP)
+	if len(g) != 1 || g[0] != 7 {
+		t.Errorf("EP group of 7 = %v", g)
+	}
+}
+
+func TestGroupsPartition(t *testing.T) {
+	s := paper3D(t)
+	for _, a := range []Axis{TP, FSDP, PP} {
+		groups := s.Groups(a)
+		seen := make(map[int]int)
+		for _, g := range groups {
+			if len(g) != s.Degree(a) {
+				t.Errorf("%v group size %d, want %d", a, len(g), s.Degree(a))
+			}
+			for _, r := range g {
+				seen[r]++
+			}
+		}
+		if len(seen) != s.WorldSize() {
+			t.Errorf("%v groups cover %d ranks", a, len(seen))
+		}
+		for r, n := range seen {
+			if n != 1 {
+				t.Errorf("%v: rank %d in %d groups", a, r, n)
+			}
+		}
+	}
+}
+
+// Property: rank/coordinate mapping is a bijection and every axis's
+// groups partition the world, for random strategies.
+func TestStrategyBijectionProperty(t *testing.T) {
+	axesPool := []Axis{TP, FSDP, PP, CP, EP}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		perm := rng.Perm(len(axesPool))
+		dims := make([]Dim, n)
+		for i := 0; i < n; i++ {
+			dims[i] = Dim{axesPool[perm[i]], rng.Intn(4) + 1}
+		}
+		s, err := NewStrategy(dims...)
+		if err != nil {
+			return true // skip invalid combos
+		}
+		for r := 0; r < s.WorldSize(); r++ {
+			if s.Rank(s.Coordinates(r)) != r {
+				return false
+			}
+		}
+		for _, d := range dims {
+			total := 0
+			for _, g := range s.Groups(d.Axis) {
+				total += len(g)
+			}
+			if total != s.WorldSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleOutAxes(t *testing.T) {
+	s := paper3D(t)
+	// TP=4 fills the 4-GPU scale-up; FSDP and PP are scale-out.
+	got := s.ScaleOutAxes(4)
+	if len(got) != 2 || got[0] != FSDP || got[1] != PP {
+		t.Errorf("ScaleOutAxes = %v", got)
+	}
+	if s.RingDegreeRequirement(4) != 4 {
+		t.Errorf("RingDegreeRequirement = %d, want 4", s.RingDegreeRequirement(4))
+	}
+	// Paper §3: 3D-parallel job has total degree requirement 6 (incl. TP);
+	// the scale-out requirement with TP inside an 1-GPU "domain" is 6.
+	if s.RingDegreeRequirement(1) != 6 {
+		t.Errorf("all-axis ring degree = %d, want 6", s.RingDegreeRequirement(1))
+	}
+}
+
+// TestTable1Plan reproduces Table 1's rows.
+func TestTable1Plan(t *testing.T) {
+	const b = 1_000_000_000
+	tests := []struct {
+		params int64
+		n      int
+		want   []Recommendation
+	}{
+		{8 * b, 8, []Recommendation{{TP}, {DP}}},
+		{70 * b, 512, []Recommendation{{TP, PP}, {TP, DP}, {DP}}},
+		{70 * b, 1024, []Recommendation{{DP, PP}, {DP, TP}}},
+		{405 * b, 8192, []Recommendation{{TP, DP, PP}}},
+	}
+	for _, tt := range tests {
+		got := Plan(tt.params, tt.n)
+		if len(got) != len(tt.want) {
+			t.Errorf("Plan(%d, %d) = %v, want %v", tt.params, tt.n, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if len(got[i]) != len(tt.want[i]) {
+				t.Errorf("Plan(%d, %d)[%d] = %v, want %v", tt.params, tt.n, i, got[i], tt.want[i])
+				continue
+			}
+			for j := range tt.want[i] {
+				if got[i][j] != tt.want[i][j] {
+					t.Errorf("Plan(%d, %d)[%d][%d] = %v, want %v", tt.params, tt.n, i, j, got[i][j], tt.want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	s := paper3D(t) // 2 scale-out axes -> static needs 4 ports
+	if !FeasibleStatic(s, 4, 4) {
+		t.Error("2 scale-out axes should fit 4 ports statically")
+	}
+	if FeasibleStatic(s, 4, 2) {
+		t.Error("2 scale-out axes should not fit 2 ports statically")
+	}
+	// Adding CP makes it 3 scale-out axes: infeasible on a 4-port NIC
+	// (paper C2)...
+	s5 := MustStrategy(Dim{TP, 4}, Dim{CP, 2}, Dim{FSDP, 2}, Dim{PP, 2})
+	if FeasibleStatic(s5, 4, 4) {
+		t.Error("C2: CP should be statically infeasible on 4 ports")
+	}
+	// ...but feasible with Opus reconfiguration.
+	if !FeasibleWithReconfiguration(s5, 4, 4) || !FeasibleWithReconfiguration(s5, 4, 2) {
+		t.Error("reconfiguration should make 5D feasible")
+	}
+	if MaxSimultaneousScaleOutAxes(4) != 2 {
+		t.Error("MaxSimultaneousScaleOutAxes(4) != 2")
+	}
+	// TP-only job has no scale-out traffic: feasible regardless.
+	tpOnly := MustStrategy(Dim{TP, 4})
+	if !FeasibleWithReconfiguration(tpOnly, 4, 0) {
+		t.Error("TP-only should be feasible with no ports")
+	}
+}
+
+// TestTable2Characteristics checks Table 2's communication columns.
+func TestTable2Characteristics(t *testing.T) {
+	rows := AllCharacteristics()
+	if len(rows) != 7 {
+		t.Fatalf("Table 2 has %d rows, want 7", len(rows))
+	}
+	check := func(a Axis, wantComms []Comm) {
+		c, ok := CharacteristicsOf(a)
+		if !ok {
+			t.Fatalf("no characteristics for %v", a)
+		}
+		if len(c.Comms) != len(wantComms) {
+			t.Fatalf("%v has %d comms, want %d", a, len(c.Comms), len(wantComms))
+		}
+		for i, w := range wantComms {
+			if c.Comms[i] != w {
+				t.Errorf("%v comm %d = %+v, want %+v", a, i, c.Comms[i], w)
+			}
+		}
+	}
+	check(DP, []Comm{{Backward, AllReduce, PerLayer}})
+	check(FSDP, []Comm{{Forward, AllGather, PerLayer}, {Backward, ReduceScatter, PerLayer}})
+	check(TP, []Comm{{Forward, AllReduce, PerOperator}, {Backward, AllReduce, PerOperator}})
+	check(PP, []Comm{{Forward, SendRecv, PerMicrobatch}, {Backward, SendRecv, PerMicrobatch}})
+	check(EP, []Comm{{Forward, AllToAll, PerLayer}, {Backward, AllToAll, PerLayer}})
+	check(CP, []Comm{{Forward, AllGather, PerLayer}, {Backward, ReduceScatter, PerLayer}})
+
+	// Memory-reduction strings for FSDP include the parameter shard.
+	c, _ := CharacteristicsOf(FSDP)
+	found := false
+	for _, m := range c.MemoryReduction {
+		if m == "params/dp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("FSDP memory reduction missing params/dp")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if AllReduce.String() != "AR" || ReduceScatter.String() != "RS" ||
+		SendRecv.String() != "Send/Recv" || AllToAll.String() != "AllToAll" ||
+		AllGather.String() != "AG" {
+		t.Error("CollectiveKind strings wrong")
+	}
+	if Forward.String() != "fwd" || Backward.String() != "bwd" {
+		t.Error("Phase strings wrong")
+	}
+	if PerLayer.String() != "per layer" || PerOperator.String() != "per operator" ||
+		PerMicrobatch.String() != "per microbatch" || PerModel.String() != "per model" {
+		t.Error("Frequency strings wrong")
+	}
+	if TPSP.String() != "TP&SP" || Axis(99).String() == "" {
+		t.Error("Axis strings wrong")
+	}
+}
+
+func TestWindowCountPaperWorkload(t *testing.T) {
+	// §3.1 workload: PP=2, FSDP=2, no CP/EP. Only the PP&FSDP term and
+	// the 4 state transitions remain: 4(2-1) + 4 = 8 — matching the
+	// visual count of circuit-configuration changes in Fig. 3(a).
+	n, err := WindowCount(WindowCountConfig{PP: 2, Layers: 32, Microbatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("WindowCount(PP=2,FSDP) = %d, want 8", n)
+	}
+}
+
+func TestWindowCountAllTerms(t *testing.T) {
+	// With CP and EP every term contributes:
+	// 4(4-1)=12, 2(8/4·... layersPerStage=2 -> 2(2-1)=2, 4·3=12,
+	// 2·3·(2·2-1)=18, +4 => 48.
+	n, err := WindowCount(WindowCountConfig{PP: 4, Layers: 8, Microbatches: 3, HasCP: true, HasEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 48 {
+		t.Errorf("WindowCount = %d, want 48", n)
+	}
+}
+
+func TestWindowCountNoPipeline(t *testing.T) {
+	// FSDP only: just the steady/sync transitions.
+	n, err := WindowCount(WindowCountConfig{PP: 1, Layers: 32, Microbatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("WindowCount(PP=1) = %d, want 2", n)
+	}
+}
+
+func TestWindowCountValidation(t *testing.T) {
+	bad := []WindowCountConfig{
+		{PP: 0, Layers: 8, Microbatches: 1},
+		{PP: 2, Layers: 0, Microbatches: 1},
+		{PP: 2, Layers: 8, Microbatches: 0},
+		{PP: 16, Layers: 8, Microbatches: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := WindowCount(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestWindowsPerSecond(t *testing.T) {
+	// §3.1: "127 windows over one Llama3.1-405B training iteration,
+	// approximately 20 seconds ... ≈ 6 windows/second".
+	got := WindowsPerSecond(127, 20)
+	if got < 6 || got > 6.5 {
+		t.Errorf("WindowsPerSecond(127, 20) = %v, want ≈6.35", got)
+	}
+	if WindowsPerSecond(10, 0) != 0 {
+		t.Error("zero iteration time should yield 0")
+	}
+}
+
+func TestRankPanics(t *testing.T) {
+	s := paper3D(t)
+	for name, fn := range map[string]func(){
+		"rank range":  func() { s.Coordinates(99) },
+		"coord count": func() { s.Rank([]int{0}) },
+		"coord range": func() { s.Rank([]int{9, 0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,221 @@
+package parallelism
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy is an ordered hybrid-parallelism layout. Dims are listed
+// innermost first: the first axis varies fastest with the global rank.
+// The conventional 3D layout {TP, DP, PP} therefore places TP ranks
+// adjacent (inside a scale-up domain) and PP outermost, matching the
+// rail-optimized mapping of Fig. 1.
+type Strategy struct {
+	dims []Dim
+}
+
+// NewStrategy validates the dims (positive degrees, no repeated axis,
+// at most one of DP/FSDP, at most one of TP/TP&SP) and returns the
+// strategy.
+func NewStrategy(dims ...Dim) (*Strategy, error) {
+	seen := make(map[Axis]bool)
+	var haveData, haveTensor bool
+	for _, d := range dims {
+		if d.Degree <= 0 {
+			return nil, fmt.Errorf("parallelism: %v has degree %d", d.Axis, d.Degree)
+		}
+		if seen[d.Axis] {
+			return nil, fmt.Errorf("parallelism: axis %v repeated", d.Axis)
+		}
+		seen[d.Axis] = true
+		if d.Axis.IsDataParallel() {
+			if haveData {
+				return nil, fmt.Errorf("parallelism: both DP and FSDP present")
+			}
+			haveData = true
+		}
+		if d.Axis.IsTensorParallel() {
+			if haveTensor {
+				return nil, fmt.Errorf("parallelism: both TP and TP&SP present")
+			}
+			haveTensor = true
+		}
+	}
+	cp := make([]Dim, len(dims))
+	copy(cp, dims)
+	return &Strategy{dims: cp}, nil
+}
+
+// MustStrategy is NewStrategy but panics on error.
+func MustStrategy(dims ...Dim) *Strategy {
+	s, err := NewStrategy(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dims returns the dims, innermost first.
+func (s *Strategy) Dims() []Dim {
+	cp := make([]Dim, len(s.dims))
+	copy(cp, s.dims)
+	return cp
+}
+
+// WorldSize returns the product of all degrees: the GPU count the
+// strategy occupies.
+func (s *Strategy) WorldSize() int {
+	n := 1
+	for _, d := range s.dims {
+		n *= d.Degree
+	}
+	return n
+}
+
+// Degree returns the degree of axis a, or 1 if the axis is absent
+// (an absent axis is a trivial singleton group).
+func (s *Strategy) Degree(a Axis) int {
+	for _, d := range s.dims {
+		if d.Axis == a {
+			return d.Degree
+		}
+	}
+	return 1
+}
+
+// Has reports whether axis a participates with degree > 1.
+func (s *Strategy) Has(a Axis) bool { return s.Degree(a) > 1 }
+
+// axisIndex returns the position of a in dims, or -1.
+func (s *Strategy) axisIndex(a Axis) int {
+	for i, d := range s.dims {
+		if d.Axis == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Coordinates decomposes a global rank into per-dim coordinates,
+// innermost first.
+func (s *Strategy) Coordinates(rank int) []int {
+	if rank < 0 || rank >= s.WorldSize() {
+		panic(fmt.Sprintf("parallelism: rank %d out of world size %d", rank, s.WorldSize()))
+	}
+	coords := make([]int, len(s.dims))
+	for i, d := range s.dims {
+		coords[i] = rank % d.Degree
+		rank /= d.Degree
+	}
+	return coords
+}
+
+// Rank recomposes per-dim coordinates into a global rank.
+func (s *Strategy) Rank(coords []int) int {
+	if len(coords) != len(s.dims) {
+		panic(fmt.Sprintf("parallelism: %d coordinates for %d dims", len(coords), len(s.dims)))
+	}
+	rank := 0
+	stride := 1
+	for i, d := range s.dims {
+		c := coords[i]
+		if c < 0 || c >= d.Degree {
+			panic(fmt.Sprintf("parallelism: coordinate %d out of range for %v", c, d))
+		}
+		rank += c * stride
+		stride *= d.Degree
+	}
+	return rank
+}
+
+// Coordinate returns rank's position along axis a (0 if absent).
+func (s *Strategy) Coordinate(rank int, a Axis) int {
+	i := s.axisIndex(a)
+	if i < 0 {
+		return 0
+	}
+	return s.Coordinates(rank)[i]
+}
+
+// Group returns the communication group of axis a containing rank: the
+// ranks whose coordinates agree with rank's on every other axis, ordered
+// by their coordinate along a. A GPU belongs to one group per axis —
+// this is the "GPU is a member of multiple communication groups" fact
+// that drives the paper's degree analysis (§3).
+func (s *Strategy) Group(rank int, a Axis) []int {
+	i := s.axisIndex(a)
+	if i < 0 {
+		return []int{rank}
+	}
+	coords := s.Coordinates(rank)
+	group := make([]int, s.dims[i].Degree)
+	for c := 0; c < s.dims[i].Degree; c++ {
+		coords[i] = c
+		group[c] = s.Rank(coords)
+	}
+	return group
+}
+
+// Groups returns every communication group of axis a, each ordered by
+// its coordinate along a. For an absent axis it returns one singleton
+// group per rank.
+func (s *Strategy) Groups(a Axis) [][]int {
+	i := s.axisIndex(a)
+	world := s.WorldSize()
+	if i < 0 {
+		out := make([][]int, world)
+		for r := 0; r < world; r++ {
+			out[r] = []int{r}
+		}
+		return out
+	}
+	deg := s.dims[i].Degree
+	seen := make(map[int]bool, world)
+	var out [][]int
+	for r := 0; r < world; r++ {
+		if seen[r] {
+			continue
+		}
+		g := s.Group(r, a)
+		for _, m := range g {
+			seen[m] = true
+		}
+		out = append(out, g)
+		_ = deg
+	}
+	return out
+}
+
+// ScaleOutAxes returns the axes whose groups cross scale-up domains when
+// the innermost axes occupying gpusPerNode ranks stay inside a domain.
+// With the conventional layout (TP innermost, degree == scale-up size),
+// these are the axes whose traffic rides the rails.
+func (s *Strategy) ScaleOutAxes(gpusPerNode int) []Axis {
+	var out []Axis
+	stride := 1
+	for _, d := range s.dims {
+		if stride >= gpusPerNode && d.Degree > 1 {
+			out = append(out, d.Axis)
+		}
+		stride *= d.Degree
+	}
+	return out
+}
+
+// RingDegreeRequirement returns the node degree a GPU needs to hold
+// simultaneous ring circuits for every scale-out axis: two neighbours
+// per ring (paper §3: "the degree requirement is 6 in a 3D-parallel job
+// using ring-based AllReduce" — two per ring across three axes; here we
+// count only scale-out axes, which is what the OCS must provide).
+func (s *Strategy) RingDegreeRequirement(gpusPerNode int) int {
+	return 2 * len(s.ScaleOutAxes(gpusPerNode))
+}
+
+// String renders e.g. "TP=4 x FSDP=2 x PP=2".
+func (s *Strategy) String() string {
+	parts := make([]string, len(s.dims))
+	for i, d := range s.dims {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, " x ")
+}

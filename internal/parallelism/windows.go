@@ -1,0 +1,85 @@
+package parallelism
+
+import "fmt"
+
+// WindowCountConfig parameterizes the Eq. 1 window-count formula: the
+// number of inter-parallelism reconfiguration windows in one training
+// iteration of a job that uses FSDP (the formula's stated assumption)
+// plus optionally PP, CP, and EP, with the TP domain inside the scale-up.
+type WindowCountConfig struct {
+	// PP is the pipeline-parallel degree (1 = no pipeline).
+	PP int
+	// Layers is the total transformer layer count (n_layer).
+	Layers int
+	// Microbatches is the number of microbatches per iteration.
+	Microbatches int
+	// HasCP and HasEP say whether context/expert parallelism are active.
+	HasCP, HasEP bool
+}
+
+// Validate checks the configuration is meaningful.
+func (c WindowCountConfig) Validate() error {
+	if c.PP < 1 {
+		return fmt.Errorf("parallelism: PP = %d", c.PP)
+	}
+	if c.Layers < 1 {
+		return fmt.Errorf("parallelism: Layers = %d", c.Layers)
+	}
+	if c.Microbatches < 1 {
+		return fmt.Errorf("parallelism: Microbatches = %d", c.Microbatches)
+	}
+	if c.Layers < c.PP {
+		return fmt.Errorf("parallelism: %d layers across %d pipeline stages", c.Layers, c.PP)
+	}
+	return nil
+}
+
+// WindowCount evaluates Eq. 1 of the paper:
+//
+//	count = 4(PP−1)                         // PP and FSDP fwd/bwd interleave
+//	      + 2(n_layer/PP − 1)               // CP/EP and FSDP, 1st µbatch fwd interleave
+//	      + 4·n_microbatch                  // CP/EP and PP fwd/bwd interleave
+//	      + 2·n_microbatch·(2·n_layer/PP−1) // CP and EP fwd/bwd interleave
+//	      + 4                               // PP warm-up/steady/cool-down/sync transitions
+//
+// Terms involving CP/EP contribute only when those axes are present, and
+// the PP terms only when PP > 1; this matches the formula's brace labels.
+// The result is the number of opportunities per iteration for Opus to
+// reconfigure rails between parallelism phases.
+func WindowCount(c WindowCountConfig) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	layersPerStage := c.Layers / c.PP
+	count := 0
+	if c.PP > 1 {
+		count += 4 * (c.PP - 1) // PP and FSDP fwd/bwd interleave
+	}
+	if c.HasCP || c.HasEP {
+		count += 2 * (layersPerStage - 1) // CP/EP and FSDP, 1st microbatch fwd
+		if c.PP > 1 {
+			count += 4 * c.Microbatches // CP/EP and PP fwd/bwd interleave
+		}
+	}
+	if c.HasCP && c.HasEP {
+		count += 2 * c.Microbatches * (2*layersPerStage - 1) // CP and EP fwd/bwd
+	}
+	// Warm-up, steady, cool-down, and sync state transitions. Without a
+	// pipeline only the steady/sync boundary remains.
+	if c.PP > 1 {
+		count += 4
+	} else {
+		count += 2
+	}
+	return count, nil
+}
+
+// WindowsPerSecond converts a per-iteration window count and an iteration
+// time in seconds into the paper's "windows per second" rate (§3.1 cites
+// ≈6 windows/second for Llama3.1-405B on 1k H100s).
+func WindowsPerSecond(count int, iterationSeconds float64) float64 {
+	if iterationSeconds <= 0 {
+		return 0
+	}
+	return float64(count) / iterationSeconds
+}

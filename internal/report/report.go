@@ -1,0 +1,149 @@
+// Package report renders the evaluation artifacts — the paper's tables
+// and figures — as aligned ASCII tables and CSV, shared by the cmd/
+// tools, the examples, and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// CSV writes the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Bar renders a horizontal ASCII bar of the given fraction of width.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Series is one named line of an ASCII chart.
+type Series struct {
+	Name   string
+	Points [][2]float64 // (x, y)
+}
+
+// Chart renders series as labelled rows of (x, y) values with a bar
+// proportional to y/maxY — a terminal stand-in for the paper's plots.
+func Chart(w io.Writer, title, xLabel, yLabel string, series []Series) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	maxY := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p[1] > maxY {
+				maxY = p[1]
+			}
+		}
+	}
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%s:\n", s.Name)
+		for _, p := range s.Points {
+			frac := 0.0
+			if maxY > 0 {
+				frac = p[1] / maxY
+			}
+			fmt.Fprintf(&sb, "  %s=%-10.4g %s=%-12.6g |%s\n", xLabel, p[0], yLabel, p[1], Bar(frac, 40))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table 3", "OCS Tech", "Radix", "#GPUs")
+	tb.AddRow("Piezo", 576, 20736)
+	tb.AddRow("3D MEMS", 320, 11520)
+	out := tb.String()
+	if !strings.Contains(out, "Table 3") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Piezo") || !strings.Contains(out, "20736") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the position of column 2.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "Radix") != strings.Index(row, "576") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("plain", `quote"and,comma`)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\nplain,\"quote\"\"and,comma\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5,10) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2) = %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	var sb strings.Builder
+	err := Chart(&sb, "Fig 8", "lat", "norm", []Series{
+		{Name: "without provisioning", Points: [][2]float64{{0, 1.0}, {1000, 1.65}}},
+		{Name: "with provisioning", Points: [][2]float64{{0, 1.0}, {1000, 1.47}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 8", "without provisioning", "lat=1000", "norm=1.65"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}

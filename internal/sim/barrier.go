@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+
+	"photonrail/internal/units"
+)
+
+// Barrier gates a set of n participants: when the last one arrives, the
+// barrier's release function runs. This models the collective-start
+// semantics of the paper ("the collective starts only when the slowest
+// rank joins", §3.1): the release time is the max of arrival times.
+type Barrier struct {
+	engine   *Engine
+	need     int
+	arrived  int
+	lastAt   units.Duration
+	released bool
+	onAll    func(lastArrival units.Duration)
+}
+
+// NewBarrier creates a barrier for n participants. onAll runs, at the
+// virtual instant of the last arrival, exactly once.
+func NewBarrier(e *Engine, n int, onAll func(lastArrival units.Duration)) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: barrier with %d participants", n))
+	}
+	return &Barrier{engine: e, need: n, onAll: onAll}
+}
+
+// Arrive records one participant's arrival at the current virtual time.
+// Arriving more times than the barrier size panics.
+func (b *Barrier) Arrive() {
+	if b.released {
+		panic("sim: arrival at already-released barrier")
+	}
+	b.arrived++
+	b.lastAt = b.engine.Now()
+	if b.arrived == b.need {
+		b.released = true
+		b.onAll(b.lastAt)
+	}
+}
+
+// Arrived reports how many participants have arrived.
+func (b *Barrier) Arrived() int { return b.arrived }
+
+// Released reports whether all participants arrived.
+func (b *Barrier) Released() bool { return b.released }

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"photonrail/internal/units"
+)
+
+// BenchmarkEngineThroughput measures raw event throughput: schedule and
+// fire chained events (each event schedules its successor).
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		remaining--
+		if remaining > 0 {
+			e.After(units.Nanosecond, tick)
+		}
+	}
+	e.Immediately(tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineFanOut measures a wide frontier: b.N events pre-queued
+// at random-ish times, drained in one Run.
+func BenchmarkEngineFanOut(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.At(units.Duration((i*2654435761)%1_000_000), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkBarrier measures barrier arrival processing.
+func BenchmarkBarrier(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		bar := NewBarrier(e, 4, func(units.Duration) {})
+		bar.Arrive()
+		bar.Arrive()
+		bar.Arrive()
+		bar.Arrive()
+	}
+}

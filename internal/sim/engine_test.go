@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"photonrail/internal/units"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: order[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []units.Duration
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) })
+		e.Immediately(func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []units.Duration{10, 10, 15}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.At(5, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.At(units.Duration(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	end := e.Run()
+	if count != 3 {
+		t.Errorf("fired %d events, want 3", count)
+	}
+	if end != 3 {
+		t.Errorf("stopped at %v, want 3", end)
+	}
+	// Run again resumes.
+	e.Run()
+	if count != 10 {
+		t.Errorf("after resume fired %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []units.Duration
+	for _, at := range []units.Duration{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 12 {
+		t.Errorf("Now() = %v, want 12", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run fired %d total, want 4", len(fired))
+	}
+}
+
+// Property: for any random set of event times, the engine fires them in
+// nondecreasing time order and ends at the maximum time.
+func TestEngineFiringOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		e := NewEngine()
+		times := make([]units.Duration, count)
+		var fired []units.Duration
+		for i := 0; i < count; i++ {
+			at := units.Duration(rng.Int63n(1_000_000))
+			times[i] = at
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != count {
+			return false
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarrierReleasesAtLastArrival(t *testing.T) {
+	e := NewEngine()
+	var releasedAt units.Duration = -1
+	b := NewBarrier(e, 3, func(last units.Duration) { releasedAt = last })
+	e.At(10, b.Arrive)
+	e.At(40, b.Arrive)
+	e.At(25, b.Arrive)
+	e.Run()
+	if releasedAt != 40 {
+		t.Errorf("barrier released at %v, want 40 (slowest rank)", releasedAt)
+	}
+	if !b.Released() {
+		t.Error("barrier not marked released")
+	}
+}
+
+func TestBarrierPartial(t *testing.T) {
+	e := NewEngine()
+	released := false
+	b := NewBarrier(e, 2, func(units.Duration) { released = true })
+	e.At(10, b.Arrive)
+	e.Run()
+	if released {
+		t.Error("barrier released with 1/2 arrivals")
+	}
+	if b.Arrived() != 1 {
+		t.Errorf("Arrived() = %d, want 1", b.Arrived())
+	}
+}
+
+func TestBarrierOverArrivalPanics(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 1, func(units.Duration) {})
+	b.Arrive()
+	defer func() {
+		if recover() == nil {
+			t.Error("over-arrival did not panic")
+		}
+	}()
+	b.Arrive()
+}
+
+func TestBarrierZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(NewEngine(), 0, func(units.Duration) {})
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"photonrail/internal/parallelism"
+	"photonrail/internal/units"
+)
+
+// The Fig. 4b traffic classes: windows are broken down by the traffic
+// that follows them. The paper's Llama3-8B instance labels these classes
+// by volume (<1MB sync AllReduce, 64MB PP Send/Recv, 957MB DP AllGather,
+// 3829MB DP ReduceScatter); we label by content so the classification is
+// model-independent, and report measured volumes alongside.
+const (
+	ClassSyncAR = "sync AR (<1MB)"
+	ClassPP     = "PP Send/Recv"
+	ClassDPAG   = "DP AllGather"
+	ClassDPRS   = "DP ReduceScatter"
+	ClassOther  = "other"
+)
+
+// Classes lists the Fig. 4b classes in display order.
+func Classes() []string {
+	return []string{ClassSyncAR, ClassPP, ClassDPAG, ClassDPRS, ClassOther}
+}
+
+// ClassifyPhase assigns a communication phase to its Fig. 4b class.
+func ClassifyPhase(p *CommPhase) string {
+	switch {
+	case p.Key.Kind == parallelism.AllReduce && p.Bytes < units.MB:
+		return ClassSyncAR
+	case p.Key.Kind == parallelism.SendRecv && p.Key.Axis == parallelism.PP:
+		return ClassPP
+	case p.Key.Kind == parallelism.AllGather && p.Key.Axis.IsDataParallel():
+		return ClassDPAG
+	case p.Key.Kind == parallelism.ReduceScatter && p.Key.Axis.IsDataParallel():
+		return ClassDPRS
+	default:
+		return ClassOther
+	}
+}
+
+// ClassifyWindow assigns a window to the class of the traffic after it.
+func ClassifyWindow(w Window) string { return ClassifyPhase(w.After) }

@@ -1,0 +1,169 @@
+// Package units provides the physical quantities used throughout the
+// photonic-rail simulator: byte counts, link bandwidths, virtual-time
+// durations, and the dollars/watts used by the fabric cost model.
+//
+// All simulator time is integer nanoseconds (units.Duration) so that
+// discrete-event runs are exactly reproducible; bandwidths are bits per
+// second so that transfer times divide out without floating-point
+// surprises at the call sites that matter.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// ByteSize is a data volume in bytes.
+type ByteSize int64
+
+// Common byte quantities.
+const (
+	Byte ByteSize = 1
+	KB            = 1024 * Byte
+	MB            = 1024 * KB
+	GB            = 1024 * MB
+	TB            = 1024 * GB
+)
+
+// String renders the size with a binary-prefix unit, e.g. "957.0MB".
+func (b ByteSize) String() string {
+	switch {
+	case b >= TB:
+		return fmt.Sprintf("%.1fTB", float64(b)/float64(TB))
+	case b >= GB:
+		return fmt.Sprintf("%.1fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.1fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.1fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// Bits returns the size in bits.
+func (b ByteSize) Bits() int64 { return int64(b) * 8 }
+
+// Bandwidth is a link or fabric rate in bits per second.
+type Bandwidth int64
+
+// Common link rates. Gbps values follow the datasheet (decimal) meaning.
+const (
+	BitPerSecond Bandwidth = 1
+	Kbps                   = 1000 * BitPerSecond
+	Mbps                   = 1000 * Kbps
+	Gbps                   = 1000 * Mbps
+	Tbps                   = 1000 * Gbps
+)
+
+// String renders the bandwidth with a decimal-prefix unit, e.g. "400Gbps".
+func (bw Bandwidth) String() string {
+	switch {
+	case bw >= Tbps:
+		return fmt.Sprintf("%gTbps", float64(bw)/float64(Tbps))
+	case bw >= Gbps:
+		return fmt.Sprintf("%gGbps", float64(bw)/float64(Gbps))
+	case bw >= Mbps:
+		return fmt.Sprintf("%gMbps", float64(bw)/float64(Mbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(bw))
+	}
+}
+
+// Duration is virtual simulator time in nanoseconds. It is deliberately a
+// distinct type from time.Duration: simulator time never interacts with the
+// wall clock, and keeping the types separate prevents accidental mixing.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Milliseconds returns the duration in (possibly fractional) milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds returns the duration in (possibly fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String renders the duration with an adaptive unit, e.g. "25ms" or "1.3s".
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3gms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3gus", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// FromMilliseconds converts fractional milliseconds into a Duration,
+// rounding to the nearest nanosecond.
+func FromMilliseconds(ms float64) Duration {
+	return Duration(math.Round(ms * float64(Millisecond)))
+}
+
+// FromSeconds converts fractional seconds into a Duration, rounding to the
+// nearest nanosecond.
+func FromSeconds(s float64) Duration {
+	return Duration(math.Round(s * float64(Second)))
+}
+
+// TransferTime returns the serialization time of size bytes over bw.
+// A zero or negative bandwidth panics: it is always a configuration bug.
+func TransferTime(size ByteSize, bw Bandwidth) Duration {
+	if bw <= 0 {
+		panic(fmt.Sprintf("units: TransferTime with non-positive bandwidth %d", bw))
+	}
+	if size <= 0 {
+		return 0
+	}
+	bits := float64(size.Bits())
+	return Duration(math.Ceil(bits / float64(bw) * float64(Second)))
+}
+
+// Dollars is a cost in US dollars. The fabric cost model works in whole
+// dollars; catalog prices are integral.
+type Dollars int64
+
+// String renders the cost with thousands separators, e.g. "$1,234,567".
+func (d Dollars) String() string {
+	neg := d < 0
+	v := int64(d)
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	out := make([]byte, 0, len(s)+len(s)/3+1)
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	if neg {
+		return "-$" + string(out)
+	}
+	return "$" + string(out)
+}
+
+// Watts is electrical power in watts.
+type Watts float64
+
+// String renders the power with an adaptive unit, e.g. "1.25MW".
+func (w Watts) String() string {
+	switch {
+	case w >= 1e6:
+		return fmt.Sprintf("%.2fMW", float64(w)/1e6)
+	case w >= 1e3:
+		return fmt.Sprintf("%.2fkW", float64(w)/1e3)
+	default:
+		return fmt.Sprintf("%.1fW", float64(w))
+	}
+}

@@ -1,0 +1,162 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteSizeString(t *testing.T) {
+	tests := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1.0KB"},
+		{1536, "1.5KB"},
+		{MB, "1.0MB"},
+		{957 * MB, "957.0MB"},
+		{3829 * MB, "3.7GB"},
+		{GB, "1.0GB"},
+		{2 * TB, "2.0TB"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	tests := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{400 * Gbps, "400Gbps"},
+		{200 * Gbps, "200Gbps"},
+		{100 * Gbps, "100Gbps"},
+		{Tbps, "1Tbps"},
+		{51200 * Gbps, "51.2Tbps"},
+		{25 * Mbps, "25Mbps"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Bandwidth.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if got := FromMilliseconds(25).Milliseconds(); got != 25 {
+		t.Errorf("FromMilliseconds(25).Milliseconds() = %v, want 25", got)
+	}
+	if got := FromMilliseconds(0.00001); got != 10 {
+		t.Errorf("FromMilliseconds(0.00001) = %d ns, want 10", int64(got))
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := Duration(1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	tests := []struct {
+		in   Duration
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{25 * Millisecond, "25ms"},
+		{1500 * Millisecond, "1.5s"},
+		{3 * Microsecond, "3us"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 400 Gbps moves 50 GB (decimal 50e9*8 bits = 4e11 bits) in 1 s.
+	size := ByteSize(50_000_000_000)
+	if got := TransferTime(size, 400*Gbps); got != Second {
+		t.Errorf("TransferTime(50GB, 400Gbps) = %v, want 1s", got)
+	}
+	// 1 MB over 400 Gbps ~ 20.97 us.
+	got := TransferTime(MB, 400*Gbps)
+	want := Duration(math.Ceil(float64(MB.Bits()) / 400e9 * 1e9))
+	if got != want {
+		t.Errorf("TransferTime(1MB, 400Gbps) = %v, want %v", got, want)
+	}
+	if got := TransferTime(0, 400*Gbps); got != 0 {
+		t.Errorf("TransferTime(0) = %v, want 0", got)
+	}
+}
+
+func TestTransferTimePanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TransferTime with zero bandwidth did not panic")
+		}
+	}()
+	TransferTime(MB, 0)
+}
+
+// Property: transfer time is monotone in size and antitone in bandwidth.
+func TestTransferTimeMonotonicity(t *testing.T) {
+	f := func(a, b uint32, bwSel uint8) bool {
+		s1 := ByteSize(a % (1 << 30))
+		s2 := ByteSize(b % (1 << 30))
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		bws := []Bandwidth{100 * Gbps, 200 * Gbps, 400 * Gbps}
+		bw := bws[int(bwSel)%len(bws)]
+		if TransferTime(s1, bw) > TransferTime(s2, bw) {
+			return false
+		}
+		// Doubling bandwidth never increases the time.
+		return TransferTime(s2, 2*bw) <= TransferTime(s2, bw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDollarsString(t *testing.T) {
+	tests := []struct {
+		in   Dollars
+		want string
+	}{
+		{0, "$0"},
+		{999, "$999"},
+		{1000, "$1,000"},
+		{1234567, "$1,234,567"},
+		{-50000, "-$50,000"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Dollars(%d).String() = %q, want %q", int64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	tests := []struct {
+		in   Watts
+		want string
+	}{
+		{45, "45.0W"},
+		{1500, "1.50kW"},
+		{2.5e6, "2.50MW"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Watts(%v).String() = %q, want %q", float64(tt.in), got, tt.want)
+		}
+	}
+}

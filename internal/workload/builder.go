@@ -1,0 +1,984 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/model"
+	"photonrail/internal/parallelism"
+	"photonrail/internal/topo"
+	"photonrail/internal/trace"
+	"photonrail/internal/units"
+)
+
+// Config parameterizes the iteration-program builder. It mirrors the
+// paper's §3.1 setup: TP occupies the scale-up domain; FSDP, PP, and the
+// optional CP/EP axes ride the rails; the pipeline schedule is 1F1B.
+//
+// Adding CP or EP answers the paper's §3 "provocative question" — 4D/5D
+// parallelism on photonic rails: each extra axis would need two more NIC
+// ports under static circuits (constraint C2), but time-multiplexed
+// reconfiguration serves any number of axes with one ring's worth of
+// ports.
+type Config struct {
+	// Model is the transformer to train.
+	Model model.Spec
+	// GPU is the compute model.
+	GPU model.GPU
+	// Cluster is the topology. TP must equal Cluster.GPUsPerNode and
+	// DP·CP·EP·PP must equal Cluster.NumNodes.
+	Cluster *topo.Cluster
+	// TP, DP, PP are the core parallel degrees (DP is the FSDP degree).
+	TP, DP, PP int
+	// CP is the context-parallel degree (1 = off). CP adds a per-layer
+	// forward AllGather and backward ReduceScatter along the CP axis
+	// (Table 2).
+	CP int
+	// EP is the expert-parallel degree (1 = off; requires an MoE model).
+	// EP adds two AllToAlls per layer per pass (dispatch and combine).
+	EP int
+	// Microbatches is the per-iteration microbatch count.
+	Microbatches int
+	// MicrobatchSize is the sequences per microbatch (the paper uses 2).
+	MicrobatchSize int
+	// Iterations is how many iterations to build (Fig. 4 uses 10).
+	Iterations int
+	// OptimizerTime is the optimizer-step compute time (default 10 ms).
+	OptimizerTime units.Duration
+	// SyncARBytes is the payload of the optimizer-step synchronization
+	// AllReduces (default 2 KB, the paper's "<1MB" class).
+	SyncARBytes units.ByteSize
+	// EagerRS issues each layer's ReduceScatter as soon as its last
+	// backward completes, letting RS overlap remaining pipeline traffic.
+	// The default (false) defers the RS burst until the pipeline drains,
+	// which is the behaviour of the paper's measured TorchTitan trace:
+	// gradient reduction fires at the end of the pipeline schedule,
+	// producing the large (≈1 s) idle window before the ReduceScatter
+	// burst that §3.1 reports.
+	EagerRS bool
+	// JitterFrac adds deterministic per-task compute-time jitter of up
+	// to ±JitterFrac (e.g. 0.03 = ±3%), hashed from the task label, to
+	// emulate real kernel-duration variance. Zero (the default) keeps
+	// every rank's compute exactly symmetric.
+	JitterFrac float64
+	// Schedule selects the pipeline schedule (default 1F1B).
+	Schedule Schedule
+}
+
+func (c *Config) applyDefaults() {
+	if c.CP == 0 {
+		c.CP = 1
+	}
+	if c.EP == 0 {
+		c.EP = 1
+	}
+	if c.OptimizerTime == 0 {
+		c.OptimizerTime = 10 * units.Millisecond
+	}
+	if c.SyncARBytes == 0 {
+		c.SyncARBytes = 2 * units.KB
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1
+	}
+	if c.MicrobatchSize == 0 {
+		c.MicrobatchSize = 2
+	}
+}
+
+// Validate checks the configuration against the cluster shape.
+func (c *Config) Validate() error {
+	if c.Cluster == nil {
+		return fmt.Errorf("workload: nil cluster")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.GPU.PeakFLOPS <= 0 || c.GPU.MFU <= 0 {
+		return fmt.Errorf("workload: GPU %q has no throughput", c.GPU.Name)
+	}
+	if c.TP <= 0 || c.DP <= 0 || c.PP <= 0 || c.CP <= 0 || c.EP <= 0 {
+		return fmt.Errorf("workload: degrees TP=%d DP=%d CP=%d EP=%d PP=%d", c.TP, c.DP, c.CP, c.EP, c.PP)
+	}
+	if c.TP != c.Cluster.GPUsPerNode {
+		return fmt.Errorf("workload: TP=%d must fill the scale-up domain (%d GPUs/node)", c.TP, c.Cluster.GPUsPerNode)
+	}
+	if c.DP*c.CP*c.EP*c.PP != c.Cluster.NumNodes {
+		return fmt.Errorf("workload: DP·CP·EP·PP = %d does not match %d nodes",
+			c.DP*c.CP*c.EP*c.PP, c.Cluster.NumNodes)
+	}
+	if c.EP > 1 && !c.Model.IsMoE() {
+		return fmt.Errorf("workload: EP=%d requires a mixture-of-experts model", c.EP)
+	}
+	if c.EP > 1 && c.EP > c.Model.Experts {
+		return fmt.Errorf("workload: EP=%d exceeds %d experts", c.EP, c.Model.Experts)
+	}
+	if c.Model.Layers%c.PP != 0 {
+		return fmt.Errorf("workload: %d layers not divisible by PP=%d", c.Model.Layers, c.PP)
+	}
+	if c.Microbatches <= 0 {
+		return fmt.Errorf("workload: %d microbatches", c.Microbatches)
+	}
+	if c.Microbatches < c.PP {
+		return fmt.Errorf("workload: %d microbatches cannot fill a %d-stage pipeline", c.Microbatches, c.PP)
+	}
+	return nil
+}
+
+// bt is a task under construction with symbolic (pointer) dependencies;
+// Build resolves them into TaskIDs by topological order.
+type bt struct {
+	task *Task
+	deps []*bt
+	idx  int // creation index for deterministic ordering
+}
+
+// shard identifies one non-TP, non-PP coordinate: the data (d), context
+// (c), and expert (e) indices. Every (stage, shard) pair occupies one
+// scale-up domain.
+type shard struct{ d, c, e int }
+
+// rkey identifies a rank position: pipeline stage, shard, TP index.
+type rkey struct {
+	s  int
+	sh shard
+	t  int
+}
+
+// mkey adds a microbatch to a rank position.
+type mkey struct {
+	s  int
+	sh shard
+	t  int
+	m  int
+}
+
+type builder struct {
+	cfg     Config
+	tasks   []*bt
+	groups  map[string]*collective.Group
+	cluster *topo.Cluster
+
+	// Per-layer durations (TP collectives folded in).
+	fwdLayer, bwdLayer units.Duration
+
+	// Per-op payloads.
+	agBytes, rsBytes units.ByteSize // FSDP, per transformer layer
+	embedAGBytes     units.ByteSize // per embedding blob
+	embedRSBytes     units.ByteSize
+	srBytes          units.ByteSize // pipeline activation transfer
+	cpBytes          units.ByteSize // CP per-layer KV gather
+	epBytes          units.ByteSize // EP per-layer AllToAll buffer
+}
+
+// Build generates the multi-iteration program.
+func Build(cfg Config) (*Program, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{cfg: cfg, cluster: cfg.Cluster, groups: make(map[string]*collective.Group)}
+	b.computeDurations()
+	b.computeBytes()
+	b.makeGroups()
+
+	// prevEnd[rank] is the final task of the previous iteration for each
+	// rank position.
+	prevEnd := make(map[rkey]*bt)
+	for it := 0; it < cfg.Iterations; it++ {
+		b.buildIteration(it, prevEnd)
+	}
+
+	tasks, err := b.finalize()
+	if err != nil {
+		return nil, err
+	}
+	dims := []parallelism.Dim{{Axis: parallelism.TP, Degree: cfg.TP}}
+	if cfg.CP > 1 {
+		dims = append(dims, parallelism.Dim{Axis: parallelism.CP, Degree: cfg.CP})
+	}
+	if cfg.EP > 1 {
+		dims = append(dims, parallelism.Dim{Axis: parallelism.EP, Degree: cfg.EP})
+	}
+	dims = append(dims,
+		parallelism.Dim{Axis: parallelism.FSDP, Degree: cfg.DP},
+		parallelism.Dim{Axis: parallelism.PP, Degree: cfg.PP})
+	strategy, err := parallelism.NewStrategy(dims...)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Cluster:    cfg.Cluster,
+		Strategy:   strategy,
+		Tasks:      tasks,
+		Groups:     b.groups,
+		Iterations: cfg.Iterations,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(cfg Config) *Program {
+	p, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// shards enumerates every (d, c, e) combination, d varying fastest.
+func (b *builder) shards() []shard {
+	out := make([]shard, 0, b.cfg.DP*b.cfg.CP*b.cfg.EP)
+	for e := 0; e < b.cfg.EP; e++ {
+		for c := 0; c < b.cfg.CP; c++ {
+			for d := 0; d < b.cfg.DP; d++ {
+				out = append(out, shard{d: d, c: c, e: e})
+			}
+		}
+	}
+	return out
+}
+
+// node returns the scale-up domain of (stage, shard): shards are laid
+// out d-major inside a stage block, stages outermost.
+func (b *builder) node(s int, sh shard) topo.NodeID {
+	cfg := b.cfg
+	shardIdx := sh.d + cfg.DP*(sh.c+cfg.CP*sh.e)
+	return topo.NodeID(shardIdx + cfg.DP*cfg.CP*cfg.EP*s)
+}
+
+// gpu returns the GPU of (stage, shard, tp rank).
+func (b *builder) gpu(s int, sh shard, t int) topo.GPUID {
+	return b.cluster.GPUAt(b.node(s, sh), t)
+}
+
+func (b *builder) computeDurations() {
+	cfg := b.cfg
+	mbs := cfg.MicrobatchSize
+	// CP splits the sequence: per-rank layer FLOPs divide by CP
+	// (Table 2's seq/cp compute reduction).
+	fwdFLOPs := cfg.Model.ForwardFLOPsPerLayer(mbs) / int64(cfg.TP) / int64(cfg.CP)
+	bwdFLOPs := cfg.Model.BackwardFLOPsPerLayer(mbs) / int64(cfg.TP) / int64(cfg.CP)
+	b.fwdLayer = cfg.GPU.ComputeTime(fwdFLOPs)
+	b.bwdLayer = cfg.GPU.ComputeTime(bwdFLOPs)
+	if cfg.TP > 1 {
+		// Two AllReduces per layer per pass over the scale-up fabric
+		// (Megatron-style), folded into the layer time.
+		act := units.ByteSize(int64(cfg.Model.ActivationBytes(mbs)) / int64(cfg.CP))
+		tpTime, err := collective.Time(collective.AllReduce, collective.Ring, cfg.TP,
+			act, cfg.Cluster.ScaleUpBandwidth, cfg.Cluster.ScaleUpLatency)
+		if err != nil {
+			panic(err) // ring AR always has a formula
+		}
+		b.fwdLayer += 2 * tpTime
+		b.bwdLayer += 2 * tpTime
+	}
+}
+
+func (b *builder) computeBytes() {
+	cfg := b.cfg
+	tp := int64(cfg.TP)
+	b.agBytes = units.ByteSize(int64(cfg.Model.LayerParamBytes()) / tp)
+	b.rsBytes = units.ByteSize(int64(cfg.Model.LayerGradBytes()) / tp)
+	embedParams := cfg.Model.EmbeddingParams() / 2 // one blob per end
+	b.embedAGBytes = units.ByteSize(embedParams * int64(cfg.Model.BytesPerParam) / tp)
+	b.embedRSBytes = units.ByteSize(embedParams * int64(cfg.Model.BytesPerGrad) / tp)
+	act := int64(cfg.Model.ActivationBytes(cfg.MicrobatchSize))
+	b.srBytes = units.ByteSize(act / tp / int64(cfg.CP))
+	if cfg.CP > 1 {
+		// The CP AllGather collects the K and V projections of every
+		// context chunk: the KV fraction of the activation volume.
+		kvFrac := 2 * float64(cfg.Model.KVHeads) / float64(cfg.Model.Heads)
+		b.cpBytes = units.ByteSize(float64(act) * kvFrac / float64(tp))
+	}
+	if cfg.EP > 1 {
+		// Each AllToAll moves the tokens routed to remote experts:
+		// TopK-amplified activations.
+		b.epBytes = units.ByteSize(act * int64(cfg.Model.TopK) / tp / int64(cfg.EP))
+	}
+}
+
+func (b *builder) makeGroups() {
+	cfg := b.cfg
+	reg := func(name string, axis parallelism.Axis, ranks []topo.GPUID) {
+		b.groups[name] = &collective.Group{Name: name, Axis: axis, Ranks: ranks}
+	}
+	for t := 0; t < cfg.TP; t++ {
+		if cfg.PP > 1 {
+			for _, sh := range b.shards() {
+				ranks := make([]topo.GPUID, cfg.PP)
+				for s := 0; s < cfg.PP; s++ {
+					ranks[s] = b.gpu(s, sh, t)
+				}
+				reg(b.ppGroupName(sh, t), parallelism.PP, ranks)
+			}
+		}
+		for s := 0; s < cfg.PP; s++ {
+			if cfg.DP > 1 {
+				for e := 0; e < cfg.EP; e++ {
+					for c := 0; c < cfg.CP; c++ {
+						ranks := make([]topo.GPUID, cfg.DP)
+						for d := 0; d < cfg.DP; d++ {
+							ranks[d] = b.gpu(s, shard{d, c, e}, t)
+						}
+						reg(b.fsdpGroupName(s, c, e, t), parallelism.FSDP, ranks)
+					}
+				}
+			}
+			if cfg.CP > 1 {
+				for e := 0; e < cfg.EP; e++ {
+					for d := 0; d < cfg.DP; d++ {
+						ranks := make([]topo.GPUID, cfg.CP)
+						for c := 0; c < cfg.CP; c++ {
+							ranks[c] = b.gpu(s, shard{d, c, e}, t)
+						}
+						reg(b.cpGroupName(s, d, e, t), parallelism.CP, ranks)
+					}
+				}
+			}
+			if cfg.EP > 1 {
+				for c := 0; c < cfg.CP; c++ {
+					for d := 0; d < cfg.DP; d++ {
+						ranks := make([]topo.GPUID, cfg.EP)
+						for e := 0; e < cfg.EP; e++ {
+							ranks[e] = b.gpu(s, shard{d, c, e}, t)
+						}
+						reg(b.epGroupName(s, d, c, t), parallelism.EP, ranks)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) ppGroupName(sh shard, t int) string {
+	return fmt.Sprintf("pp.d%d.c%d.e%d.r%d", sh.d, sh.c, sh.e, t)
+}
+
+func (b *builder) fsdpGroupName(s, c, e, t int) string {
+	return fmt.Sprintf("fsdp.s%d.c%d.e%d.r%d", s, c, e, t)
+}
+
+func (b *builder) cpGroupName(s, d, e, t int) string {
+	return fmt.Sprintf("cp.s%d.d%d.e%d.r%d", s, d, e, t)
+}
+
+func (b *builder) epGroupName(s, d, c, t int) string {
+	return fmt.Sprintf("ep.s%d.d%d.c%d.r%d", s, d, c, t)
+}
+
+func (b *builder) add(t *Task, deps ...*bt) *bt {
+	n := &bt{task: t, idx: len(b.tasks)}
+	for _, d := range deps {
+		if d != nil {
+			n.deps = append(n.deps, d)
+		}
+	}
+	b.tasks = append(b.tasks, n)
+	return n
+}
+
+func (b *builder) addDeps(n *bt, deps ...*bt) {
+	for _, d := range deps {
+		if d != nil {
+			n.deps = append(n.deps, d)
+		}
+	}
+}
+
+// jitter derates or inflates a compute duration by a deterministic
+// per-label factor within ±JitterFrac, emulating kernel-time variance
+// without sacrificing reproducibility.
+func (b *builder) jitter(label string, d units.Duration) units.Duration {
+	if b.cfg.JitterFrac <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	// Map the hash to [-1, 1).
+	u := float64(h.Sum64()%2048)/1024 - 1
+	return units.Duration(float64(d) * (1 + b.cfg.JitterFrac*u))
+}
+
+// Schedule selects the pipeline schedule.
+type Schedule int
+
+// The supported pipeline schedules.
+const (
+	// OneFOneB is the 1F1B schedule of the paper's trace (default).
+	OneFOneB Schedule = iota
+	// GPipe runs all forwards, then all backwards: fewer parallelism
+	// interleavings (fewer windows) but a larger pipeline bubble and
+	// activation footprint.
+	GPipe
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case OneFOneB:
+		return "1F1B"
+	case GPipe:
+		return "GPipe"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// pipeOp is one slot of a pipeline schedule.
+type pipeOp struct {
+	fwd   bool
+	mb    int
+	phase trace.PipePhase
+}
+
+// schedule1F1B returns stage s's op order under the one-forward-
+// one-backward schedule: warm-up forwards, a steady phase alternating
+// F/B, and cool-down backwards.
+func schedule1F1B(s, pp, m int) []pipeOp {
+	w := pp - 1 - s
+	if w > m {
+		w = m
+	}
+	var ops []pipeOp
+	for i := 0; i < w; i++ {
+		ops = append(ops, pipeOp{fwd: true, mb: i, phase: trace.WarmUp})
+	}
+	for i := 0; i < m-w; i++ {
+		ops = append(ops, pipeOp{fwd: true, mb: w + i, phase: trace.Steady})
+		ops = append(ops, pipeOp{fwd: false, mb: i, phase: trace.Steady})
+	}
+	for i := m - w; i < m; i++ {
+		ops = append(ops, pipeOp{fwd: false, mb: i, phase: trace.CoolDown})
+	}
+	return ops
+}
+
+// scheduleGPipe returns stage s's op order under GPipe: every forward,
+// then every backward.
+func scheduleGPipe(m int) []pipeOp {
+	var ops []pipeOp
+	for i := 0; i < m; i++ {
+		ops = append(ops, pipeOp{fwd: true, mb: i, phase: trace.WarmUp})
+	}
+	for i := m - 1; i >= 0; i-- {
+		ops = append(ops, pipeOp{fwd: false, mb: i, phase: trace.CoolDown})
+	}
+	return ops
+}
+
+// scheduleFor dispatches on the configured schedule.
+func (b *builder) scheduleFor(s int) []pipeOp {
+	if b.cfg.Schedule == GPipe {
+		return scheduleGPipe(b.cfg.Microbatches)
+	}
+	return schedule1F1B(s, b.cfg.PP, b.cfg.Microbatches)
+}
+
+// blob describes one parameter blob in a stage's AllGather/ReduceScatter
+// chain: the transformer layers plus the embedding/head blobs at the
+// pipeline ends.
+type blob struct {
+	label   string
+	agBytes units.ByteSize
+	rsBytes units.ByteSize
+	// layer is the stage-local transformer layer this blob gates, or -1
+	// for embedding blobs (gating the stage's first layer instead).
+	layer int
+}
+
+func (b *builder) stageBlobs(s int) []blob {
+	layers := b.cfg.Model.Layers / b.cfg.PP
+	var blobs []blob
+	if s == 0 {
+		blobs = append(blobs, blob{label: "embed", agBytes: b.embedAGBytes, rsBytes: b.embedRSBytes, layer: -1})
+	}
+	for l := 0; l < layers; l++ {
+		blobs = append(blobs, blob{label: fmt.Sprintf("L%d", l), agBytes: b.agBytes, rsBytes: b.rsBytes, layer: l})
+	}
+	if s == b.cfg.PP-1 {
+		blobs = append(blobs, blob{label: "head", agBytes: b.embedAGBytes, rsBytes: b.embedRSBytes, layer: -1})
+	}
+	return blobs
+}
+
+// collTask is a helper filling the common collective-task fields.
+func (b *builder) collTask(label string, kind parallelism.CollectiveKind, axis parallelism.Axis,
+	group string, ranks []topo.GPUID, bytes units.ByteSize, rail int, it, mb int, phase trace.PipePhase) *Task {
+	return &Task{
+		Kind:       Collective,
+		Label:      label,
+		CollKind:   kind,
+		Axis:       axis,
+		Group:      b.groups[group],
+		Ranks:      ranks,
+		Bytes:      bytes,
+		Rail:       topo.RailID(rail),
+		Iteration:  it,
+		Microbatch: mb,
+		Phase:      phase,
+	}
+}
+
+// buildIteration emits one training iteration. prevEnd carries each
+// rank's final task of the previous iteration and is updated in place.
+func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
+	cfg := b.cfg
+	layers := cfg.Model.Layers / cfg.PP
+	shards := b.shards()
+
+	// Pre-create pipeline Send/Recv tasks so both endpoints can
+	// reference them. srF carries activations s -> s+1; srB carries
+	// gradients s -> s-1.
+	srF := make(map[mkey]*bt)
+	srB := make(map[mkey]*bt)
+	if cfg.PP > 1 {
+		for s := 0; s < cfg.PP; s++ {
+			for _, sh := range shards {
+				for t := 0; t < cfg.TP; t++ {
+					for m := 0; m < cfg.Microbatches; m++ {
+						key := mkey{s, sh, t, m}
+						if s < cfg.PP-1 {
+							srF[key] = b.add(b.collTask(
+								fmt.Sprintf("SRf s%d>s%d d%d c%d e%d r%d mb%d", s, s+1, sh.d, sh.c, sh.e, t, m),
+								parallelism.SendRecv, parallelism.PP, b.ppGroupName(sh, t),
+								[]topo.GPUID{b.gpu(s, sh, t), b.gpu(s+1, sh, t)},
+								b.srBytes, t, it, m, trace.Steady))
+						}
+						if s > 0 {
+							srB[key] = b.add(b.collTask(
+								fmt.Sprintf("SRb s%d>s%d d%d c%d e%d r%d mb%d", s, s-1, sh.d, sh.c, sh.e, t, m),
+								parallelism.SendRecv, parallelism.PP, b.ppGroupName(sh, t),
+								[]topo.GPUID{b.gpu(s, sh, t), b.gpu(s-1, sh, t)},
+								b.srBytes, t, it, m, trace.Steady))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// FSDP AllGather chains, one per (stage, c, e, rail). Lazy DTensor
+	// semantics: stage s > 0 starts gathering only once the first
+	// activation arrives (dep on srF of microbatch 0).
+	type agKey struct{ s, c, e, t, bi int }
+	agTask := make(map[agKey]*bt)
+	rsTask := make(map[agKey]*bt)
+	if cfg.DP > 1 {
+		for s := 0; s < cfg.PP; s++ {
+			blobs := b.stageBlobs(s)
+			for e := 0; e < cfg.EP; e++ {
+				for c := 0; c < cfg.CP; c++ {
+					for t := 0; t < cfg.TP; t++ {
+						gname := b.fsdpGroupName(s, c, e, t)
+						g := b.groups[gname]
+						var prev *bt
+						for bi, bl := range blobs {
+							n := b.add(b.collTask(
+								fmt.Sprintf("AG %s s%d c%d e%d r%d", bl.label, s, c, e, t),
+								parallelism.AllGather, parallelism.FSDP, gname,
+								g.Ranks, bl.agBytes, t, it, 0, trace.WarmUp), prev)
+							if bi == 0 {
+								for d := 0; d < cfg.DP; d++ {
+									sh := shard{d, c, e}
+									// Every shard must have finished the
+									// previous iteration's optimizer step.
+									b.addDeps(n, prevEnd[rkey{s, sh, t}])
+									if s > 0 && cfg.PP > 1 {
+										// Lazy DTensor: gathering starts only
+										// when the first activation arrives
+										// (§3.1).
+										b.addDeps(n, srF[mkey{s - 1, sh, t, 0}])
+									}
+								}
+							}
+							agTask[agKey{s, c, e, t, bi}] = n
+							prev = n
+						}
+						// ReduceScatter chain issues top-down during the
+						// last microbatch's backward pass.
+						var prevRS *bt
+						for bi := len(blobs) - 1; bi >= 0; bi-- {
+							bl := blobs[bi]
+							n := b.add(b.collTask(
+								fmt.Sprintf("RS %s s%d c%d e%d r%d", bl.label, s, c, e, t),
+								parallelism.ReduceScatter, parallelism.FSDP, gname,
+								g.Ranks, bl.rsBytes, t, it, cfg.Microbatches-1, trace.CoolDown), prevRS)
+							rsTask[agKey{s, c, e, t, bi}] = n
+							prevRS = n
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Per-rank compute following the 1F1B schedule, with per-layer CP
+	// gathers and EP AllToAlls woven in.
+	type bwdKey struct {
+		s  int
+		sh shard
+		t  int
+		bi int
+	}
+	lastBwdLayer := make(map[bwdKey]*bt)
+
+	// CP and EP collectives are shared by their whole group: the first
+	// member to reach the op creates it, later members attach their
+	// dependency chains (the slowest-member barrier). Keys identify one
+	// logical collective instance.
+	type cKey struct {
+		kind string
+		s    int
+		d, c, e, t,
+		m, l int
+	}
+	sharedColl := make(map[cKey]*bt)
+	getShared := func(key cKey, make func() *Task, deps ...*bt) *bt {
+		n, ok := sharedColl[key]
+		if !ok {
+			n = b.add(make())
+			sharedColl[key] = n
+		}
+		b.addDeps(n, deps...)
+		return n
+	}
+	for s := 0; s < cfg.PP; s++ {
+		blobs := b.stageBlobs(s)
+		blobOfLayer := make(map[int]int)
+		for bi, bl := range blobs {
+			if bl.layer >= 0 {
+				blobOfLayer[bl.layer] = bi
+			}
+		}
+		sched := b.scheduleFor(s)
+		for _, sh := range shards {
+			for t := 0; t < cfg.TP; t++ {
+				g := b.gpu(s, sh, t)
+				rank := rkey{s, sh, t}
+				chain := prevEnd[rank]
+				for _, op := range sched {
+					if op.fwd {
+						for l := 0; l < layers; l++ {
+							deps := []*bt{chain}
+							if cfg.DP > 1 && op.mb == 0 {
+								deps = append(deps, agTask[agKey{s, sh.c, sh.e, t, blobOfLayer[l]}])
+							}
+							if l == 0 && s > 0 {
+								deps = append(deps, srF[mkey{s - 1, sh, t, op.mb}])
+							}
+							// CP: gather the other context chunks' K/V
+							// before attention (fwd AG per layer). One op
+							// per CP group, gated on every member.
+							if cfg.CP > 1 {
+								cg := b.cpGroupName(s, sh.d, sh.e, t)
+								cp := getShared(cKey{"cpag", s, sh.d, -1, sh.e, t, op.mb, l}, func() *Task {
+									return b.collTask(
+										fmt.Sprintf("CPAG s%d d%d e%d r%d mb%d L%d", s, sh.d, sh.e, t, op.mb, l),
+										parallelism.AllGather, parallelism.CP, cg,
+										b.groups[cg].Ranks, b.cpBytes, t, it, op.mb, op.phase)
+								}, deps...)
+								deps = []*bt{cp}
+							}
+							// EP: dispatch tokens to experts before the
+							// MLP (AllToAll per layer).
+							if cfg.EP > 1 {
+								eg := b.epGroupName(s, sh.d, sh.c, t)
+								disp := getShared(cKey{"epd", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									return b.collTask(
+										fmt.Sprintf("EPA2A-d s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, eg,
+										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+								}, deps...)
+								deps = []*bt{disp}
+							}
+							label := fmt.Sprintf("F s%d d%d c%d e%d r%d mb%d L%d", s, sh.d, sh.c, sh.e, t, op.mb, l)
+							chain = b.add(&Task{
+								Kind:       Compute,
+								Label:      label,
+								GPU:        g,
+								Duration:   b.jitter(label, b.fwdLayer),
+								Iteration:  it,
+								Microbatch: op.mb,
+								Phase:      op.phase,
+							}, deps...)
+							// EP: combine expert outputs after the MLP.
+							if cfg.EP > 1 {
+								eg := b.epGroupName(s, sh.d, sh.c, t)
+								chain = getShared(cKey{"epc", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									return b.collTask(
+										fmt.Sprintf("EPA2A-c s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, eg,
+										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+								}, chain)
+							}
+						}
+						if s < cfg.PP-1 {
+							sr := srF[mkey{s, sh, t, op.mb}]
+							b.addDeps(sr, chain)
+							sr.task.Phase = op.phase
+						}
+					} else {
+						for l := layers - 1; l >= 0; l-- {
+							deps := []*bt{chain}
+							if l == layers-1 && s < cfg.PP-1 {
+								deps = append(deps, srB[mkey{s + 1, sh, t, op.mb}])
+							}
+							// EP backward: combine gradients in, dispatch
+							// gradients out.
+							if cfg.EP > 1 {
+								eg := b.epGroupName(s, sh.d, sh.c, t)
+								comb := getShared(cKey{"epcb", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									return b.collTask(
+										fmt.Sprintf("EPA2A-cb s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, eg,
+										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+								}, deps...)
+								deps = []*bt{comb}
+							}
+							label := fmt.Sprintf("B s%d d%d c%d e%d r%d mb%d L%d", s, sh.d, sh.c, sh.e, t, op.mb, l)
+							chain = b.add(&Task{
+								Kind:       Compute,
+								Label:      label,
+								GPU:        g,
+								Duration:   b.jitter(label, b.bwdLayer),
+								Iteration:  it,
+								Microbatch: op.mb,
+								Phase:      op.phase,
+							}, deps...)
+							if cfg.EP > 1 {
+								eg := b.epGroupName(s, sh.d, sh.c, t)
+								chain = getShared(cKey{"epdb", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									return b.collTask(
+										fmt.Sprintf("EPA2A-db s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, eg,
+										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+								}, chain)
+							}
+							// CP backward: reduce-scatter the context
+							// gradients (bwd RS per layer).
+							if cfg.CP > 1 {
+								cg := b.cpGroupName(s, sh.d, sh.e, t)
+								chain = getShared(cKey{"cprs", s, sh.d, -1, sh.e, t, op.mb, l}, func() *Task {
+									return b.collTask(
+										fmt.Sprintf("CPRS s%d d%d e%d r%d mb%d L%d", s, sh.d, sh.e, t, op.mb, l),
+										parallelism.ReduceScatter, parallelism.CP, cg,
+										b.groups[cg].Ranks, b.cpBytes, t, it, op.mb, op.phase)
+								}, chain)
+							}
+							if cfg.DP > 1 {
+								// Overwritten by every backward; the final
+								// value is the schedule's last backward of
+								// this layer (grad accumulation complete).
+								lastBwdLayer[bwdKey{s, sh, t, blobOfLayer[l]}] = chain
+							}
+						}
+						if s > 0 {
+							sr := srB[mkey{s, sh, t, op.mb}]
+							b.addDeps(sr, chain)
+							sr.task.Phase = op.phase
+						}
+					}
+				}
+				prevEnd[rank] = chain
+			}
+		}
+	}
+
+	// Wire ReduceScatter dependencies: each blob's RS waits for every
+	// shard's backward of that blob in the last microbatch (embedding
+	// blobs wait on the adjacent layer's backward, which the chain
+	// covers). Unless EagerRS is set, the whole burst additionally waits
+	// for the pipeline to drain on its rail, matching the TorchTitan
+	// trace where gradient reduction fires at schedule end.
+	if cfg.DP > 1 {
+		for s := 0; s < cfg.PP; s++ {
+			blobs := b.stageBlobs(s)
+			for e := 0; e < cfg.EP; e++ {
+				for c := 0; c < cfg.CP; c++ {
+					for t := 0; t < cfg.TP; t++ {
+						for bi, bl := range blobs {
+							n := rsTask[agKey{s, c, e, t, bi}]
+							for d := 0; d < cfg.DP; d++ {
+								sh := shard{d, c, e}
+								if bl.layer >= 0 {
+									b.addDeps(n, lastBwdLayer[bwdKey{s, sh, t, bi}])
+								} else {
+									// Embedding blob: gate on the rank's
+									// final backward task of the iteration.
+									b.addDeps(n, prevEnd[rkey{s, sh, t}])
+								}
+							}
+							if !cfg.EagerRS && bi == len(blobs)-1 {
+								// First RS of the chain: pipeline-drain
+								// barrier over every rank on this rail.
+								for s2 := 0; s2 < cfg.PP; s2++ {
+									for _, sh2 := range shards {
+										b.addDeps(n, prevEnd[rkey{s2, sh2, t}])
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Optimizer-step synchronization: a short AllReduce along PP
+	// (gradient-norm partials across stages), one along DP, the
+	// optimizer update, and a final loss AllReduce along DP (§3.1,
+	// "several short AllReduce calls ... for synchronization and
+	// numerical robustness").
+	for t := 0; t < cfg.TP; t++ {
+		arPPOf := make(map[shard]*bt)
+		if cfg.PP > 1 {
+			for _, sh := range shards {
+				gname := b.ppGroupName(sh, t)
+				n := b.add(b.collTask(
+					fmt.Sprintf("AR norm-pp d%d c%d e%d r%d", sh.d, sh.c, sh.e, t),
+					parallelism.AllReduce, parallelism.PP, gname,
+					b.groups[gname].Ranks, cfg.SyncARBytes, t, it, -1, trace.Sync))
+				for s := 0; s < cfg.PP; s++ {
+					if cfg.DP > 1 {
+						b.addDeps(n, rsTask[agKey{s, sh.c, sh.e, t, 0}]) // final RS of the chain
+					} else {
+						b.addDeps(n, prevEnd[rkey{s, sh, t}])
+					}
+				}
+				arPPOf[sh] = n
+			}
+		}
+		for s := 0; s < cfg.PP; s++ {
+			arDPOf := make(map[shard]*bt)
+			if cfg.DP > 1 {
+				for e := 0; e < cfg.EP; e++ {
+					for c := 0; c < cfg.CP; c++ {
+						gname := b.fsdpGroupName(s, c, e, t)
+						arDP := b.add(b.collTask(
+							fmt.Sprintf("AR norm-dp s%d c%d e%d r%d", s, c, e, t),
+							parallelism.AllReduce, parallelism.FSDP, gname,
+							b.groups[gname].Ranks, cfg.SyncARBytes, t, it, -1, trace.Sync))
+						for d := 0; d < cfg.DP; d++ {
+							sh := shard{d, c, e}
+							if n := arPPOf[sh]; n != nil {
+								b.addDeps(arDP, n)
+							} else {
+								b.addDeps(arDP, rsTask[agKey{s, c, e, t, 0}], prevEnd[rkey{s, sh, t}])
+							}
+							arDPOf[sh] = arDP
+						}
+					}
+				}
+			}
+			for _, sh := range shards {
+				opt := b.add(&Task{
+					Kind:       Compute,
+					Label:      fmt.Sprintf("OPT s%d d%d c%d e%d r%d", s, sh.d, sh.c, sh.e, t),
+					GPU:        b.gpu(s, sh, t),
+					Duration:   cfg.OptimizerTime,
+					Iteration:  it,
+					Microbatch: -1,
+					Phase:      trace.Sync,
+				}, prevEnd[rkey{s, sh, t}])
+				if n := arDPOf[sh]; n != nil {
+					b.addDeps(opt, n)
+				} else if n := arPPOf[sh]; n != nil {
+					b.addDeps(opt, n)
+				}
+				prevEnd[rkey{s, sh, t}] = opt
+			}
+			if cfg.DP > 1 {
+				for e := 0; e < cfg.EP; e++ {
+					for c := 0; c < cfg.CP; c++ {
+						gname := b.fsdpGroupName(s, c, e, t)
+						loss := b.add(b.collTask(
+							fmt.Sprintf("AR loss s%d c%d e%d r%d", s, c, e, t),
+							parallelism.AllReduce, parallelism.FSDP, gname,
+							b.groups[gname].Ranks, cfg.SyncARBytes, t, it, -1, trace.Sync))
+						for d := 0; d < cfg.DP; d++ {
+							b.addDeps(loss, prevEnd[rkey{s, shard{d, c, e}, t}])
+						}
+						for d := 0; d < cfg.DP; d++ {
+							prevEnd[rkey{s, shard{d, c, e}, t}] = loss
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// intHeap is a min-heap of creation indices for the deterministic
+// topological sort.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// finalize topologically sorts the symbolic DAG (stable by creation
+// order) and assigns TaskIDs.
+func (b *builder) finalize() ([]*Task, error) {
+	n := len(b.tasks)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, t := range b.tasks {
+		for _, d := range t.deps {
+			succ[d.idx] = append(succ[d.idx], t.idx)
+			indeg[t.idx]++
+		}
+	}
+	h := &intHeap{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(h, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for h.Len() > 0 {
+		i := heap.Pop(h).(int)
+		order = append(order, i)
+		for _, s := range succ[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(h, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("workload: dependency cycle among %d tasks", n-len(order))
+	}
+	id := make([]TaskID, n)
+	for rank, idx := range order {
+		id[idx] = TaskID(rank)
+	}
+	out := make([]*Task, n)
+	for _, t := range b.tasks {
+		t.task.ID = id[t.idx]
+		t.task.Deps = t.task.Deps[:0]
+		seen := make(map[TaskID]bool, len(t.deps))
+		for _, d := range t.deps {
+			did := id[d.idx]
+			if !seen[did] {
+				t.task.Deps = append(t.task.Deps, did)
+				seen[did] = true
+			}
+		}
+		out[t.task.ID] = t.task
+	}
+	return out, nil
+}

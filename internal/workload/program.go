@@ -1,0 +1,141 @@
+// Package workload turns (model × parallelism × pipeline schedule ×
+// hardware) into an executable training-iteration program: a
+// deterministic DAG of compute and communication tasks that the network
+// simulator executes. It is a miniature TorchTitan: 1F1B pipeline
+// scheduling, per-layer FSDP AllGather/ReduceScatter with lazy issue
+// semantics, pipeline Send/Recv, optimizer-step synchronization
+// AllReduces, and TP collectives folded into compute (Fig. 3's "TP is
+// hidden").
+package workload
+
+import (
+	"fmt"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/parallelism"
+	"photonrail/internal/topo"
+	"photonrail/internal/trace"
+	"photonrail/internal/units"
+)
+
+// TaskID indexes a task within a Program. Dependencies always point to
+// lower IDs, so the DAG is acyclic by construction.
+type TaskID int
+
+// TaskKind distinguishes compute from communication tasks.
+type TaskKind int
+
+// Task kinds.
+const (
+	Compute TaskKind = iota
+	Collective
+)
+
+// Task is one node of the iteration DAG.
+type Task struct {
+	ID   TaskID
+	Kind TaskKind
+	// Label describes the op for traces, e.g. "F s0 mb2 L5".
+	Label string
+	// Deps must all complete before the task starts (for collectives,
+	// this realizes the "starts when the slowest rank joins" barrier:
+	// each participant contributes its own dependency chain).
+	Deps []TaskID
+
+	// GPU and Duration apply to compute tasks.
+	GPU      topo.GPUID
+	Duration units.Duration
+
+	// Collective fields.
+	CollKind parallelism.CollectiveKind
+	Axis     parallelism.Axis
+	Group    *collective.Group
+	// Ranks are the actual participants; for Send/Recv this is the
+	// {src, dst} pair while Group still names the circuit-owning ring.
+	Ranks []topo.GPUID
+	// Bytes is the per-rank payload.
+	Bytes units.ByteSize
+	// ScaleUp marks intra-node collectives that bypass the rails.
+	ScaleUp bool
+	// Rail is the rail the op uses (scale-out collectives only).
+	Rail topo.RailID
+
+	// Annotations for trace analysis.
+	Iteration  int
+	Microbatch int
+	Phase      trace.PipePhase
+}
+
+// IsCollective reports whether the task is a communication op.
+func (t *Task) IsCollective() bool { return t.Kind == Collective }
+
+// Program is a complete multi-iteration training program.
+type Program struct {
+	// Cluster is the topology the program runs on.
+	Cluster *topo.Cluster
+	// Strategy is the parallelism layout.
+	Strategy *parallelism.Strategy
+	// Tasks in ID order.
+	Tasks []*Task
+	// Groups maps group name to the communication group.
+	Groups map[string]*collective.Group
+	// Iterations is the iteration count.
+	Iterations int
+}
+
+// Validate checks DAG structural invariants: dependencies point
+// backwards, collectives have participants, groups are registered.
+func (p *Program) Validate() error {
+	for _, t := range p.Tasks {
+		for _, d := range t.Deps {
+			if d >= t.ID || d < 0 {
+				return fmt.Errorf("workload: task %d (%s) depends on %d", t.ID, t.Label, d)
+			}
+		}
+		if t.Kind == Collective {
+			if t.Group == nil {
+				return fmt.Errorf("workload: collective %d (%s) has no group", t.ID, t.Label)
+			}
+			if len(t.Ranks) == 0 {
+				return fmt.Errorf("workload: collective %d (%s) has no participants", t.ID, t.Label)
+			}
+			if _, ok := p.Groups[t.Group.Name]; !ok {
+				return fmt.Errorf("workload: collective %d uses unregistered group %s", t.ID, t.Group.Name)
+			}
+			for _, r := range t.Ranks {
+				if !p.Cluster.Contains(r) {
+					return fmt.Errorf("workload: collective %d rank %d outside cluster", t.ID, r)
+				}
+				if !t.Group.Contains(r) {
+					return fmt.Errorf("workload: collective %d rank %d outside group %s", t.ID, r, t.Group.Name)
+				}
+			}
+		} else if !p.Cluster.Contains(t.GPU) {
+			return fmt.Errorf("workload: compute task %d on GPU %d outside cluster", t.ID, t.GPU)
+		}
+	}
+	return nil
+}
+
+// CollectiveCount returns the number of communication tasks.
+func (p *Program) CollectiveCount() int {
+	n := 0
+	for _, t := range p.Tasks {
+		if t.IsCollective() {
+			n++
+		}
+	}
+	return n
+}
+
+// ScaleOutBytes sums per-rank bytes of all scale-out collectives in one
+// iteration (-1 for all iterations).
+func (p *Program) ScaleOutBytes(iter int) units.ByteSize {
+	var total units.ByteSize
+	for _, t := range p.Tasks {
+		if t.IsCollective() && !t.ScaleUp && (iter < 0 || t.Iteration == iter) {
+			total += t.Bytes
+		}
+	}
+	return total
+}

@@ -1,0 +1,285 @@
+// Package photonrail is a simulation and control-plane library for
+// photonic rail-optimized ML datacenter fabrics, reproducing "Photonic
+// Rails in ML Datacenters" (HotNets 2025).
+//
+// The package is the public face of the repository: it wires together
+// the internal substrates (cluster topology, OCS device models, the
+// collective cost model, the TorchTitan-style workload generator, the
+// Opus controller, and the discrete-event network simulator) into the
+// experiments the paper reports:
+//
+//   - Simulate runs one training job on a chosen fabric;
+//   - SweepReconfigLatency regenerates Fig. 8;
+//   - AnalyzeWindows regenerates Fig. 3 / Fig. 4;
+//   - CostComparison regenerates Fig. 7;
+//   - Table1/Table2/Table3 regenerate the paper's tables.
+package photonrail
+
+import (
+	"fmt"
+
+	"photonrail/internal/model"
+	"photonrail/internal/netsim"
+	"photonrail/internal/topo"
+	"photonrail/internal/units"
+	"photonrail/internal/workload"
+)
+
+// Re-exported model and hardware presets.
+var (
+	// Llama3_8B is the model the paper traces in §3.1.
+	Llama3_8B = model.Llama3_8B
+	// Llama3_70B is a mid-size dense model.
+	Llama3_70B = model.Llama3_70B
+	// Llama31_405B is the §3.1 window-count example model.
+	Llama31_405B = model.Llama31_405B
+	// Mixtral8x7B is the MoE model for the EP experiments.
+	Mixtral8x7B = model.Mixtral8x7B
+
+	// A100, H100, H200 are GPU compute models.
+	A100 = model.A100
+	H100 = model.H100
+	H200 = model.H200
+
+	// NIC port configurations (ConnectX-7 options).
+	OnePort400G  = topo.OnePort400G
+	TwoPort200G  = topo.TwoPort200G
+	FourPort100G = topo.FourPort100G
+)
+
+// Fabric selects how a Workload's scale-out network is realized.
+type Fabric struct {
+	// Kind is the realization.
+	Kind FabricKind
+	// ReconfigLatencyMS is the OCS switching latency in milliseconds
+	// (photonic kinds only).
+	ReconfigLatencyMS float64
+	// Provision enables Opus's speculative reconfiguration.
+	Provision bool
+}
+
+// FabricKind enumerates the fabric realizations.
+type FabricKind int
+
+// The fabric realizations.
+const (
+	// ElectricalRail is the packet-switched baseline.
+	ElectricalRail FabricKind = iota
+	// PhotonicRail is the OCS fabric under the Opus controller.
+	PhotonicRail
+	// PhotonicStaticPartition pins NIC port pairs to parallelism axes
+	// with no in-job reconfiguration (the C3 baseline).
+	PhotonicStaticPartition
+)
+
+// Workload describes a hybrid-parallel training job on a rail cluster.
+// The zero values of optional fields take paper defaults.
+type Workload struct {
+	// Model is the transformer trained.
+	Model model.Spec
+	// GPU is the accelerator compute model.
+	GPU model.GPU
+	// NumNodes and GPUsPerNode shape the cluster; GPUsPerNode is also
+	// the rail count and must equal TP.
+	NumNodes, GPUsPerNode int
+	// NIC is the per-GPU scale-out port configuration.
+	NIC topo.PortConfig
+	// TP, DP, PP are the parallel degrees (DP is FSDP).
+	TP, DP, PP int
+	// CP and EP are the optional context/expert parallel degrees
+	// (0 or 1 = off). Each adds a scale-out axis; static circuits cannot
+	// host more than NIC.Ports/2 axes (C2), but Opus reconfiguration
+	// serves any number — the paper's 5D-parallelism question.
+	CP, EP int
+	// Microbatches and MicrobatchSize shape the 1F1B schedule.
+	Microbatches, MicrobatchSize int
+	// Iterations is the training iteration count to simulate.
+	Iterations int
+	// EagerRS issues per-layer ReduceScatter eagerly instead of after
+	// pipeline drain (ablation; see workload.Config.EagerRS).
+	EagerRS bool
+	// JitterFrac adds deterministic ±JitterFrac compute-time variance
+	// per task (0 = exactly symmetric ranks).
+	JitterFrac float64
+	// UseGPipe switches the pipeline schedule from 1F1B to GPipe.
+	UseGPipe bool
+}
+
+// PaperWorkload returns the §3.1 measurement workload: Llama3-8B with
+// TP=4 (intra-node), FSDP=2, PP=2 on 4 Perlmutter-class nodes (4× A100,
+// NVLink 3.0), 1F1B with 12 microbatches of size 2.
+func PaperWorkload(iterations int) Workload {
+	return Workload{
+		Model:          model.Llama3_8B,
+		GPU:            model.A100,
+		NumNodes:       4,
+		GPUsPerNode:    4,
+		NIC:            topo.TwoPort200G,
+		TP:             4,
+		DP:             2,
+		PP:             2,
+		Microbatches:   12,
+		MicrobatchSize: 2,
+		Iterations:     iterations,
+	}
+}
+
+func scheduleOf(w Workload) workload.Schedule {
+	if w.UseGPipe {
+		return workload.GPipe
+	}
+	return workload.OneFOneB
+}
+
+// build compiles the workload into an executable program on the given
+// fabric realization.
+func (w Workload) build(kind topo.FabricKind) (*workload.Program, error) {
+	cluster, err := topo.New(topo.Config{
+		NumNodes:    w.NumNodes,
+		GPUsPerNode: w.GPUsPerNode,
+		Fabric:      kind,
+		NIC:         w.NIC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return workload.Build(workload.Config{
+		Model:          w.Model,
+		GPU:            w.GPU,
+		Cluster:        cluster,
+		TP:             w.TP,
+		DP:             w.DP,
+		PP:             w.PP,
+		CP:             w.CP,
+		EP:             w.EP,
+		Microbatches:   w.Microbatches,
+		MicrobatchSize: w.MicrobatchSize,
+		Iterations:     w.Iterations,
+		EagerRS:        w.EagerRS,
+		JitterFrac:     w.JitterFrac,
+		Schedule:       scheduleOf(w),
+	})
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// TotalSeconds is the virtual time to complete all iterations.
+	TotalSeconds float64
+	// IterationSeconds is the per-iteration duration.
+	IterationSeconds []float64
+	// MeanIterationSeconds averages the steady-state iterations.
+	MeanIterationSeconds float64
+	// Reconfigurations is the count of physical OCS reconfigurations.
+	Reconfigurations int
+	// FastGrants and QueuedGrants split circuit acquisitions into
+	// already-installed vs reconfiguration-requiring.
+	FastGrants, QueuedGrants int
+	// BlockedSeconds sums application-visible reconfiguration delay.
+	BlockedSeconds float64
+
+	inner *netsim.Result
+}
+
+// Simulate runs the workload on the fabric and reports timing and
+// controller telemetry.
+func Simulate(w Workload, f Fabric) (*Result, error) {
+	res, _, err := simulate(w, f, false)
+	return res, err
+}
+
+// simulateProvisionedStable runs the provisioned photonic fabric the
+// way a deployed shim would: profile reactively, speculate from the
+// profile, keep re-profiling across iterations (§4.1, "during later
+// iterations"), and keep whichever schedule measures fastest — at
+// switching latencies comparable to the window sizes, speculation can
+// misfire (a pre-installed circuit reorders ops relative to any
+// profile), and the shim then falls back to reactive reconfiguration.
+func simulateProvisionedStable(w Workload, latencyMS float64) (*Result, error) {
+	prog, err := w.build(topo.FabricPhotonicRail)
+	if err != nil {
+		return nil, err
+	}
+	latency := units.FromMilliseconds(latencyMS)
+	// Profiling pass (reactive) — also the fallback schedule.
+	cur, err := netsim.Run(prog, netsim.Options{Mode: netsim.Photonic, ReconfigLatency: latency})
+	if err != nil {
+		return nil, err
+	}
+	best := cur
+	profile := cur.Profile
+	for pass := 0; pass < 3; pass++ {
+		res, err := netsim.Run(prog, netsim.Options{
+			Mode:            netsim.Photonic,
+			ReconfigLatency: latency,
+			Provision:       true,
+			Profile:         profile,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Total < best.Total {
+			best = res
+		}
+		if res.Profile == profile {
+			break
+		}
+		profile = res.Profile
+	}
+	out := &Result{
+		TotalSeconds:         best.Total.Seconds(),
+		MeanIterationSeconds: best.MeanIterationTime().Seconds(),
+		Reconfigurations:     best.Reconfigurations,
+		FastGrants:           best.FastGrants,
+		QueuedGrants:         best.QueuedGrants,
+		BlockedSeconds:       best.BlockedTime.Seconds(),
+		inner:                best,
+	}
+	for _, it := range best.IterationTimes {
+		out.IterationSeconds = append(out.IterationSeconds, it.Seconds())
+	}
+	return out, nil
+}
+
+func simulate(w Workload, f Fabric, recordTrace bool) (*Result, *netsim.Result, error) {
+	var topoKind topo.FabricKind
+	var mode netsim.Mode
+	switch f.Kind {
+	case ElectricalRail:
+		topoKind, mode = topo.FabricElectricalRail, netsim.Electrical
+	case PhotonicRail:
+		topoKind, mode = topo.FabricPhotonicRail, netsim.Photonic
+	case PhotonicStaticPartition:
+		topoKind, mode = topo.FabricPhotonicRail, netsim.PhotonicStatic
+	default:
+		return nil, nil, fmt.Errorf("photonrail: unknown fabric kind %d", f.Kind)
+	}
+	if f.ReconfigLatencyMS < 0 {
+		return nil, nil, fmt.Errorf("photonrail: negative reconfiguration latency")
+	}
+	prog, err := w.build(topoKind)
+	if err != nil {
+		return nil, nil, err
+	}
+	inner, err := netsim.Run(prog, netsim.Options{
+		Mode:            mode,
+		ReconfigLatency: units.FromMilliseconds(f.ReconfigLatencyMS),
+		Provision:       f.Provision,
+		RecordTrace:     recordTrace,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{
+		TotalSeconds:         inner.Total.Seconds(),
+		MeanIterationSeconds: inner.MeanIterationTime().Seconds(),
+		Reconfigurations:     inner.Reconfigurations,
+		FastGrants:           inner.FastGrants,
+		QueuedGrants:         inner.QueuedGrants,
+		BlockedSeconds:       inner.BlockedTime.Seconds(),
+		inner:                inner,
+	}
+	for _, it := range inner.IterationTimes {
+		res.IterationSeconds = append(res.IterationSeconds, it.Seconds())
+	}
+	return res, inner, nil
+}

@@ -1,0 +1,71 @@
+package photonrail
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacade4DWorkload(t *testing.T) {
+	w := PaperWorkload(1)
+	w.NumNodes = 8
+	w.CP = 2
+	w.Microbatches = 4
+
+	// Static: infeasible with three scale-out axes (C2).
+	if _, err := Simulate(w, Fabric{Kind: PhotonicStaticPartition}); err == nil {
+		t.Fatal("static 4D accepted")
+	} else if !strings.Contains(err.Error(), "C2") {
+		t.Errorf("error does not cite C2: %v", err)
+	}
+	w4 := w
+	w4.NIC = FourPort100G
+	if _, err := Simulate(w4, Fabric{Kind: PhotonicStaticPartition}); err == nil {
+		t.Fatal("static 4D accepted even on 4 ports")
+	}
+
+	// Opus: runs, near baseline with a fast switch.
+	base, err := Simulate(w, Fabric{Kind: ElectricalRail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: 0.01, Provision: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := fast.MeanIterationSeconds / base.MeanIterationSeconds
+	if norm > 1.05 {
+		t.Errorf("4D under fast OCS = %.3f x baseline, want ≤1.05", norm)
+	}
+	if fast.Reconfigurations < 100 {
+		t.Errorf("4D job reconfigured only %d times; CP interleave missing", fast.Reconfigurations)
+	}
+}
+
+func TestFacadeEPWorkload(t *testing.T) {
+	w := Workload{
+		Model:          Mixtral8x7B,
+		GPU:            A100,
+		NumNodes:       8,
+		GPUsPerNode:    4,
+		NIC:            TwoPort200G,
+		TP:             4,
+		EP:             2,
+		DP:             2,
+		PP:             2,
+		Microbatches:   4,
+		MicrobatchSize: 2,
+		Iterations:     1,
+	}
+	res, err := Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: 0.01, Provision: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds <= 0 {
+		t.Fatal("no progress")
+	}
+	// EP on a dense model is rejected.
+	w.Model = Llama3_8B
+	if _, err := Simulate(w, Fabric{Kind: ElectricalRail}); err == nil {
+		t.Error("EP with dense model accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package photonrail
+
+import "fmt"
+
+// SweepPoint is one x-axis point of Fig. 8: the iteration time of the
+// photonic fabric at a given reconfiguration latency, normalized to the
+// fully-connected (electrical) baseline, with and without provisioning.
+type SweepPoint struct {
+	// LatencyMS is the OCS switching latency.
+	LatencyMS float64
+	// Reactive is normalized iteration time without provisioning.
+	Reactive float64
+	// Provisioned is normalized iteration time with provisioning.
+	Provisioned float64
+	// ReactiveReconfigs and ProvisionedReconfigs count physical
+	// reconfigurations per run.
+	ReactiveReconfigs, ProvisionedReconfigs int
+}
+
+// PaperLatenciesMS returns Fig. 8's x-axis: reconfiguration latencies in
+// milliseconds. Latency 0 is the baseline itself.
+func PaperLatenciesMS() []float64 {
+	return []float64{0, 0.1, 1, 5, 10, 20, 50, 100, 200, 500, 1000}
+}
+
+// SweepReconfigLatency regenerates Fig. 8: it simulates the workload on
+// the electrical baseline once, then on photonic rails at each latency,
+// reactive and provisioned, and reports normalized mean iteration times.
+// At latency 0 the paper defines the point as the baseline (normalized
+// 1.0), and our photonic fabric at zero latency reproduces the baseline
+// timing exactly.
+func SweepReconfigLatency(w Workload, latenciesMS []float64) ([]SweepPoint, error) {
+	if len(latenciesMS) == 0 {
+		latenciesMS = PaperLatenciesMS()
+	}
+	base, err := Simulate(w, Fabric{Kind: ElectricalRail})
+	if err != nil {
+		return nil, fmt.Errorf("photonrail: baseline: %w", err)
+	}
+	baseIter := base.MeanIterationSeconds
+	if baseIter <= 0 {
+		return nil, fmt.Errorf("photonrail: degenerate baseline iteration time")
+	}
+	var points []SweepPoint
+	for _, lat := range latenciesMS {
+		if lat == 0 {
+			points = append(points, SweepPoint{LatencyMS: 0, Reactive: 1, Provisioned: 1})
+			continue
+		}
+		reactive, err := Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: lat})
+		if err != nil {
+			return nil, fmt.Errorf("photonrail: latency %vms reactive: %w", lat, err)
+		}
+		provisioned, err := simulateProvisionedStable(w, lat)
+		if err != nil {
+			return nil, fmt.Errorf("photonrail: latency %vms provisioned: %w", lat, err)
+		}
+		points = append(points, SweepPoint{
+			LatencyMS:            lat,
+			Reactive:             reactive.MeanIterationSeconds / baseIter,
+			Provisioned:          provisioned.MeanIterationSeconds / baseIter,
+			ReactiveReconfigs:    reactive.Reconfigurations,
+			ProvisionedReconfigs: provisioned.Reconfigurations,
+		})
+	}
+	return points, nil
+}
