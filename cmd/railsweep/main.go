@@ -1,0 +1,265 @@
+// Command railsweep runs any of the paper's figure/table experiment
+// batches on the concurrent experiment engine, with a configurable
+// worker count and optional JSON output for scripted large-scale
+// sweeps.
+//
+// Usage:
+//
+//	railsweep [flags] [experiment ...]
+//
+// Experiments: fig4, fig7, fig8, table1, table2, table3, all
+// (default fig8). One engine serves the whole invocation, so
+// experiments sharing simulations (e.g. the electrical baseline)
+// run them once.
+//
+//	railsweep -parallel 8 fig8
+//	railsweep -json -latencies 0,10,100,1000 fig8
+//	railsweep -parallel 4 -stats all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"photonrail"
+	"photonrail/internal/cost"
+	"photonrail/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "railsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// experimentNames is the order "all" runs in (cheap tables first).
+var experimentNames = []string{"table1", "table2", "table3", "fig7", "fig4", "fig8"}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("railsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		parallel  = fs.Int("parallel", 0, "worker count (0 = NumCPU)")
+		jsonOut   = fs.Bool("json", false, "emit JSON instead of aligned text")
+		stats     = fs.Bool("stats", false, "print engine cache stats to stderr")
+		iters     = fs.Int("iters", 2, "training iterations for fig8 simulations")
+		winIters  = fs.Int("window-iters", 10, "training iterations for the fig4 window analysis")
+		latencies = fs.String("latencies", "", "comma-separated fig8 latencies in ms (default: the paper's)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: railsweep [flags] [experiment ...]\nexperiments: %s, all\n",
+			strings.Join(experimentNames, ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lats, err := parseLatencies(*latencies)
+	if err != nil {
+		return err
+	}
+	wanted := fs.Args()
+	if len(wanted) == 0 {
+		wanted = []string{"fig8"}
+	}
+	var selected []string
+	for _, name := range wanted {
+		if name == "all" {
+			selected = append(selected, experimentNames...)
+			continue
+		}
+		if !validExperiment(name) {
+			return fmt.Errorf("unknown experiment %q (want %s, all)", name, strings.Join(experimentNames, ", "))
+		}
+		selected = append(selected, name)
+	}
+
+	en := photonrail.NewEngine(*parallel)
+	out := make(map[string]any, len(selected))
+	for _, name := range selected {
+		res, err := runExperiment(en, name, *iters, *winIters, lats)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = res
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if len(selected) == 1 {
+			if err := enc.Encode(out[selected[0]]); err != nil {
+				return err
+			}
+		} else if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, name := range selected {
+			if err := renderText(stdout, out[name]); err != nil {
+				return err
+			}
+		}
+	}
+	if *stats {
+		st := en.CacheStats()
+		fmt.Fprintf(stderr, "engine: %d workers, cache %d hits / %d misses\n",
+			en.Workers(), st.Hits, st.Misses)
+	}
+	return nil
+}
+
+func validExperiment(name string) bool {
+	for _, n := range experimentNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func parseLatencies(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil // SweepReconfigLatency defaults to the paper's
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad latency %q: %w", part, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative latency %v", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// tableJSON is the JSON shape of a rendered table experiment.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func toTableJSON(t *report.Table) tableJSON {
+	return tableJSON{Title: t.Title, Headers: t.Headers, Rows: t.Rows}
+}
+
+// fig4JSON summarizes the window analysis for scripted consumers.
+type fig4JSON struct {
+	FractionOver1ms float64        `json:"fractionOver1ms"`
+	PerRail         []fig4RailJSON `json:"perRail"`
+	Breakdown       []fig4Class    `json:"breakdown"`
+}
+
+type fig4RailJSON struct {
+	Rail  int     `json:"rail"`
+	N     int     `json:"n"`
+	P50MS float64 `json:"p50ms"`
+	P90MS float64 `json:"p90ms"`
+	MaxMS float64 `json:"maxms"`
+}
+
+type fig4Class struct {
+	Class         string  `json:"class"`
+	Count         int     `json:"count"`
+	MeanWindowMS  float64 `json:"meanWindowMS"`
+	MeanBytesNext float64 `json:"meanBytesAfter"`
+}
+
+// fig8JSON pairs the sweep points with the workload scale they were
+// simulated at.
+type fig8JSON struct {
+	Iterations int                     `json:"iterations"`
+	Points     []photonrail.SweepPoint `json:"points"`
+}
+
+func runExperiment(en *photonrail.Engine, name string, iters, winIters int, lats []float64) (any, error) {
+	switch name {
+	case "table1":
+		return toTableJSON(photonrail.Table1()), nil
+	case "table2":
+		return toTableJSON(photonrail.Table2()), nil
+	case "table3":
+		return toTableJSON(photonrail.Table3()), nil
+	case "fig7":
+		rows, err := en.CostComparison()
+		if err != nil {
+			return nil, err
+		}
+		return rows, nil
+	case "fig4":
+		rep, err := en.AnalyzeWindows(photonrail.PaperWorkload(winIters))
+		if err != nil {
+			return nil, err
+		}
+		out := fig4JSON{FractionOver1ms: rep.FractionOver1ms}
+		for rail := 0; ; rail++ {
+			c, ok := rep.PerRailCDF[rail]
+			if !ok {
+				break
+			}
+			out.PerRail = append(out.PerRail, fig4RailJSON{
+				Rail: rail, N: c.N(),
+				P50MS: c.Quantile(0.50), P90MS: c.Quantile(0.90), MaxMS: c.Quantile(1),
+			})
+		}
+		for _, b := range rep.Breakdown.Buckets() {
+			out.Breakdown = append(out.Breakdown, fig4Class{
+				Class: b.Label, Count: b.Count, MeanWindowMS: b.Mean(),
+				MeanBytesNext: rep.BreakdownBytes[b.Label],
+			})
+		}
+		return out, nil
+	case "fig8":
+		points, err := en.SweepReconfigLatency(photonrail.PaperWorkload(iters), lats)
+		if err != nil {
+			return nil, err
+		}
+		return fig8JSON{Iterations: iters, Points: points}, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+func renderText(w io.Writer, res any) error {
+	var t *report.Table
+	switch v := res.(type) {
+	case tableJSON:
+		t = &report.Table{Title: v.Title, Headers: v.Headers, Rows: v.Rows}
+	case fig8JSON:
+		t = photonrail.Fig8Table(v.Points)
+	case fig4JSON:
+		t = report.NewTable("Fig. 4: window-size summary per rail (ms)",
+			"Rail", "N", "p50", "p90", "max")
+		for _, r := range v.PerRail {
+			t.AddRow(fmt.Sprintf("rail%d", r.Rail+1), r.N,
+				fmt.Sprintf("%.3g", r.P50MS), fmt.Sprintf("%.3g", r.P90MS), fmt.Sprintf("%.3g", r.MaxMS))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "windows over 1ms: %.0f%%\n", 100*v.FractionOver1ms)
+		t = report.NewTable("Fig. 4b: rail-0 windows by following traffic",
+			"Traffic class", "Count", "Avg window (ms)", "Avg bytes after")
+		for _, c := range v.Breakdown {
+			t.AddRow(c.Class, c.Count, fmt.Sprintf("%.3g", c.MeanWindowMS), fmt.Sprintf("%.3g", c.MeanBytesNext))
+		}
+	case []cost.Fig7Row:
+		t = photonrail.Fig7RowsTable(v)
+	default:
+		return fmt.Errorf("railsweep: no text renderer for %T", res)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTable3Text(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"table3"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Piezo (Polatis)") {
+		t.Errorf("table3 output:\n%s", out.String())
+	}
+}
+
+func TestRunFig8JSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the workload")
+	}
+	var out, errb bytes.Buffer
+	err := run([]string{"-json", "-parallel", "4", "-iters", "1", "-latencies", "0,10", "-stats", "fig8"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Iterations int `json:"iterations"`
+		Points     []struct {
+			LatencyMS float64
+			Reactive  float64
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(got.Points) != 2 || got.Points[0].LatencyMS != 0 || got.Points[0].Reactive != 1 {
+		t.Errorf("points = %+v", got.Points)
+	}
+	if !strings.Contains(errb.String(), "cache") {
+		t.Errorf("-stats wrote nothing: %q", errb.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"fig99"}, &out, &errb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestParseLatencies(t *testing.T) {
+	got, err := parseLatencies("0, 10,100.5")
+	if err != nil || len(got) != 3 || got[2] != 100.5 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := parseLatencies("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseLatencies("-1"); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if got, err := parseLatencies(""); err != nil || got != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+}

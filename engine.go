@@ -1,0 +1,84 @@
+package photonrail
+
+import (
+	"photonrail/internal/exp"
+	"photonrail/internal/netsim"
+)
+
+// Engine runs the package's figure/table experiments on a concurrent
+// worker pool with a memoizing simulation cache. Independent simulation
+// jobs (the sweep's latency points, the cost comparison's cluster
+// sizes) execute in parallel; shared sub-results — above all the
+// electrical baseline every sweep point normalizes against — are
+// simulated exactly once per engine and reused across experiments.
+//
+// Output is deterministic and order-stable: results are gathered by
+// submission index, never completion order, so an Engine with N workers
+// produces byte-identical results to an Engine with one.
+type Engine struct {
+	pool *exp.Engine
+}
+
+// NewEngine builds an engine with the given worker count; workers <= 0
+// selects runtime.NumCPU(). Each engine owns an independent cache.
+func NewEngine(workers int) *Engine {
+	return &Engine{pool: exp.New(workers)}
+}
+
+// defaultEngine backs the package-level experiment functions
+// (SweepReconfigLatency, AnalyzeWindows, CostComparison), which keep
+// their historical signatures and semantics on top of it.
+var defaultEngine = NewEngine(0)
+
+// DefaultEngine returns the process-wide engine used by the
+// package-level experiment functions. Its cache retains every distinct
+// (Workload, Fabric) result — including full traces for AnalyzeWindows
+// — for the life of the process; long-running callers iterating over
+// many distinct workloads should call ResetCache between batches or
+// use a dedicated NewEngine per batch.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// Workers reports the pool size.
+func (en *Engine) Workers() int { return en.pool.Workers() }
+
+// CacheStats is the engine's memoization telemetry: Hits counts
+// requests served from a memoized (or in-flight) simulation, Misses
+// counts simulations actually run.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// CacheStats reports the telemetry accumulated since construction.
+func (en *Engine) CacheStats() CacheStats {
+	st := en.pool.Stats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses}
+}
+
+// ResetCache drops all memoized simulation results (telemetry counters
+// keep accumulating).
+func (en *Engine) ResetCache() { en.pool.ResetCache() }
+
+// Simulate is the memoized form of the package-level Simulate: the
+// result of each distinct (Workload, Fabric) pair is computed once per
+// engine and shared. Treat the returned Result as read-only.
+func (en *Engine) Simulate(w Workload, f Fabric) (*Result, error) {
+	return exp.Cached(en.pool, exp.Key("simulate", w, f), func() (*Result, error) {
+		return Simulate(w, f)
+	})
+}
+
+// provisionedStable is the memoized simulateProvisionedStable.
+func (en *Engine) provisionedStable(w Workload, latencyMS float64) (*Result, error) {
+	return exp.Cached(en.pool, exp.Key("provisioned-stable", w, latencyMS), func() (*Result, error) {
+		return simulateProvisionedStable(w, latencyMS)
+	})
+}
+
+// simulateTraced is the memoized trace-recording electrical-baseline
+// run that the window analysis consumes.
+func (en *Engine) simulateTraced(w Workload) (*netsim.Result, error) {
+	return exp.Cached(en.pool, exp.Key("simulate-traced", w), func() (*netsim.Result, error) {
+		_, inner, err := simulate(w, Fabric{Kind: ElectricalRail}, true)
+		return inner, err
+	})
+}

@@ -1,0 +1,3 @@
+module photonrail
+
+go 1.22

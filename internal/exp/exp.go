@@ -1,0 +1,160 @@
+// Package exp is the concurrent experiment engine behind the
+// photonrail figure/table drivers: a bounded worker pool that executes
+// independent simulation jobs in parallel, plus a memoizing result
+// cache with singleflight semantics, so shared sub-results (e.g. the
+// electrical baseline every sweep point normalizes against) are
+// computed exactly once per engine and reused across experiments.
+//
+// Results are always gathered by submission index, never by completion
+// order, and errors are reported lowest-index-first, so a parallel run
+// is byte-identical to a sequential one as long as the jobs themselves
+// are deterministic (the discrete-event simulator is).
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is a bounded worker pool with a memoizing result cache.
+// Construct with New; the zero value is not usable.
+type Engine struct {
+	workers int
+	slots   chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]*entry
+
+	hits, misses atomic.Uint64
+}
+
+// entry is one cache slot. done is closed when val/err are final, so
+// concurrent requests for an in-flight key block instead of recomputing.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New builds an engine with the given worker count; workers <= 0
+// selects runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{
+		workers: workers,
+		slots:   make(chan struct{}, workers),
+		cache:   make(map[string]*entry),
+	}
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats is the cache telemetry: Hits counts requests served from a
+// memoized (or in-flight) computation, Misses counts computations run.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// Stats reports the cache telemetry accumulated since construction
+// (ResetCache does not clear it).
+func (e *Engine) Stats() Stats {
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+}
+
+// ResetCache drops all memoized results.
+func (e *Engine) ResetCache() {
+	e.mu.Lock()
+	e.cache = make(map[string]*entry)
+	e.mu.Unlock()
+}
+
+// Do returns the memoized result of fn under key, computing it at most
+// once per engine; concurrent callers of the same key block until the
+// first computation finishes (singleflight). Errors are memoized too —
+// the jobs keyed here are deterministic, so retrying cannot succeed.
+// fn runs on the caller's goroutine and must not itself submit work to
+// the engine's pool.
+func (e *Engine) Do(key string, fn func() (any, error)) (any, error) {
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		<-ent.done
+		return ent.val, ent.err
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.mu.Unlock()
+	e.misses.Add(1)
+	completed := false
+	defer func() {
+		// A panicking fn must still release waiters: record the failure
+		// and close done before the panic propagates, or every later
+		// caller of this key would block forever on a poisoned entry.
+		if !completed {
+			ent.err = fmt.Errorf("exp: computation for key %q panicked", key)
+		}
+		close(ent.done)
+	}()
+	ent.val, ent.err = fn()
+	completed = true
+	return ent.val, ent.err
+}
+
+// Cached is the typed wrapper over Do. The memoized value is shared by
+// every caller of the key: treat it as read-only.
+func Cached[T any](e *Engine, key string, fn func() (T, error)) (T, error) {
+	v, err := e.Do(key, func() (any, error) { return fn() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Map runs fn(0), …, fn(n-1) across the engine's workers and gathers
+// the results by submission index. Every job runs to completion even
+// when another fails; on failure the lowest-index error is returned so
+// the outcome does not depend on completion order. Jobs may call
+// Do/Cached (which run inline on the worker) but must not call Map —
+// nested fan-out could exhaust the pool and deadlock.
+func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			e.slots <- struct{}{}
+			defer func() { <-e.slots }()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Key derives a canonical cache key from its parts: each part is
+// rendered with %#v — deterministic for the value-only structs the
+// experiments key on (fmt sorts map keys; do not pass pointers, whose
+// rendering includes addresses) — and hashed.
+func Key(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x1f", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderStable(t *testing.T) {
+	e := New(8)
+	out, err := Map(e, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	e := New(8)
+	// Jobs 30 and 70 fail; the returned error must be job 30's no matter
+	// which completes first.
+	var ran atomic.Int64
+	_, err := Map(e, 100, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 30 || i == 70 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 30 failed" {
+		t.Fatalf("err = %v, want job 30's", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d jobs, want all 100", ran.Load())
+	}
+}
+
+func TestMapRespectsWorkerBound(t *testing.T) {
+	const workers = 3
+	e := New(workers)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(e, 50, func(i int) (int, error) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d > %d workers", p, workers)
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	e := New(8)
+	var computed atomic.Int64
+	// 64 concurrent requests for the same key: exactly one computation.
+	out, err := Map(e, 64, func(i int) (int, error) {
+		return Cached(e, "shared", func() (int, error) {
+			computed.Add(1)
+			return 42, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	}
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 63 {
+		t.Fatalf("stats = %+v, want 63 hits / 1 miss", st)
+	}
+}
+
+func TestDoMemoizesErrors(t *testing.T) {
+	e := New(1)
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 3; i++ {
+		if _, err := Cached(e, "failing", func() (int, error) {
+			calls++
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (errors memoized)", calls)
+	}
+}
+
+func TestDoPanicReleasesWaiters(t *testing.T) {
+	e := New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic swallowed")
+			}
+		}()
+		_, _ = Cached(e, "exploding", func() (int, error) { panic("boom") })
+	}()
+	// The key must not be poisoned: later callers get an error, not a
+	// permanent block.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Cached(e, "exploding", func() (int, error) { return 1, nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("err = %v, want memoized panic error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second caller deadlocked on panicked entry")
+	}
+}
+
+func TestResetCache(t *testing.T) {
+	e := New(1)
+	var calls int
+	fn := func() (int, error) { calls++; return calls, nil }
+	if v, _ := Cached(e, "k", fn); v != 1 {
+		t.Fatalf("first = %d", v)
+	}
+	e.ResetCache()
+	if v, _ := Cached(e, "k", fn); v != 2 {
+		t.Fatalf("after reset = %d, want recomputed", v)
+	}
+}
+
+func TestNewDefaultsWorkers(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("workers = %d", w)
+	}
+	if w := New(5).Workers(); w != 5 {
+		t.Fatalf("workers = %d, want 5", w)
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	k1 := Key("sim", cfg{1, "x"}, 2.5)
+	k2 := Key("sim", cfg{1, "x"}, 2.5)
+	if k1 != k2 {
+		t.Fatal("identical parts hashed differently")
+	}
+	if k1 == Key("sim", cfg{2, "x"}, 2.5) {
+		t.Fatal("different parts collided")
+	}
+	// Part boundaries matter: ("ab", "c") != ("a", "bc").
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("part boundary not canonical")
+	}
+}

@@ -84,6 +84,14 @@ type Trace struct {
 // Add records a span.
 func (t *Trace) Add(s Span) { t.spans = append(t.spans, s) }
 
+// Clone returns an independent copy: the two traces share no span
+// storage, so mutating one never affects the other.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{spans: make([]Span, len(t.spans))}
+	copy(out.spans, t.spans)
+	return out
+}
+
 // Len returns the span count.
 func (t *Trace) Len() int { return len(t.spans) }
 

@@ -1,6 +1,10 @@
 package photonrail
 
-import "fmt"
+import (
+	"fmt"
+
+	"photonrail/internal/exp"
+)
 
 // SweepPoint is one x-axis point of Fig. 8: the iteration time of the
 // photonic fabric at a given reconfiguration latency, normalized to the
@@ -26,42 +30,50 @@ func PaperLatenciesMS() []float64 {
 // SweepReconfigLatency regenerates Fig. 8: it simulates the workload on
 // the electrical baseline once, then on photonic rails at each latency,
 // reactive and provisioned, and reports normalized mean iteration times.
-// At latency 0 the paper defines the point as the baseline (normalized
-// 1.0), and our photonic fabric at zero latency reproduces the baseline
-// timing exactly.
+// The latency-0 point is simulated like any other; the photonic fabric
+// at zero switching latency reproduces the baseline timing exactly, so
+// it normalizes to exactly 1.0.
+//
+// The sweep runs on DefaultEngine: latency points simulate in parallel
+// and the shared electrical baseline is simulated exactly once per
+// batch. Output is deterministic and identical to a sequential run.
 func SweepReconfigLatency(w Workload, latenciesMS []float64) ([]SweepPoint, error) {
+	return DefaultEngine().SweepReconfigLatency(w, latenciesMS)
+}
+
+// SweepReconfigLatency is the engine form of the package-level function:
+// same semantics, with fan-out bounded by the engine's worker count and
+// results shared through its cache.
+func (en *Engine) SweepReconfigLatency(w Workload, latenciesMS []float64) ([]SweepPoint, error) {
 	if len(latenciesMS) == 0 {
 		latenciesMS = PaperLatenciesMS()
 	}
-	base, err := Simulate(w, Fabric{Kind: ElectricalRail})
-	if err != nil {
-		return nil, fmt.Errorf("photonrail: baseline: %w", err)
-	}
-	baseIter := base.MeanIterationSeconds
-	if baseIter <= 0 {
-		return nil, fmt.Errorf("photonrail: degenerate baseline iteration time")
-	}
-	var points []SweepPoint
-	for _, lat := range latenciesMS {
-		if lat == 0 {
-			points = append(points, SweepPoint{LatencyMS: 0, Reactive: 1, Provisioned: 1})
-			continue
-		}
-		reactive, err := Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: lat})
+	return exp.Map(en.pool, len(latenciesMS), func(i int) (SweepPoint, error) {
+		lat := latenciesMS[i]
+		// Every point fetches the baseline through the cache: the first
+		// request simulates it, the rest share the result.
+		base, err := en.Simulate(w, Fabric{Kind: ElectricalRail})
 		if err != nil {
-			return nil, fmt.Errorf("photonrail: latency %vms reactive: %w", lat, err)
+			return SweepPoint{}, fmt.Errorf("photonrail: baseline: %w", err)
 		}
-		provisioned, err := simulateProvisionedStable(w, lat)
+		baseIter := base.MeanIterationSeconds
+		if baseIter <= 0 {
+			return SweepPoint{}, fmt.Errorf("photonrail: degenerate baseline iteration time")
+		}
+		reactive, err := en.Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: lat})
 		if err != nil {
-			return nil, fmt.Errorf("photonrail: latency %vms provisioned: %w", lat, err)
+			return SweepPoint{}, fmt.Errorf("photonrail: latency %vms reactive: %w", lat, err)
 		}
-		points = append(points, SweepPoint{
+		provisioned, err := en.provisionedStable(w, lat)
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("photonrail: latency %vms provisioned: %w", lat, err)
+		}
+		return SweepPoint{
 			LatencyMS:            lat,
 			Reactive:             reactive.MeanIterationSeconds / baseIter,
 			Provisioned:          provisioned.MeanIterationSeconds / baseIter,
 			ReactiveReconfigs:    reactive.Reconfigurations,
 			ProvisionedReconfigs: provisioned.Reconfigurations,
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"photonrail/internal/cost"
+	"photonrail/internal/exp"
 	"photonrail/internal/metrics"
 	"photonrail/internal/ocs"
 	"photonrail/internal/parallelism"
@@ -85,9 +86,27 @@ func Table3() *report.Table {
 }
 
 // CostComparison regenerates Fig. 7 at the paper's cluster sizes and
-// returns the rows for custom rendering.
+// returns the rows for custom rendering. It runs on DefaultEngine: the
+// cluster sizes are evaluated in parallel and each (size, catalog) BOM
+// row is memoized across experiments.
 func CostComparison() ([]cost.Fig7Row, error) {
-	return cost.Fig7(cost.PaperSizes(), topo.DGXH200GPUsPerNode, cost.DefaultCatalog())
+	return DefaultEngine().CostComparison()
+}
+
+// CostComparison is the engine form of the package-level function.
+func (en *Engine) CostComparison() ([]cost.Fig7Row, error) {
+	sizes := cost.PaperSizes()
+	cat := cost.DefaultCatalog()
+	return exp.Map(en.pool, len(sizes), func(i int) (cost.Fig7Row, error) {
+		return exp.Cached(en.pool, exp.Key("fig7-row", sizes[i], topo.DGXH200GPUsPerNode, cat),
+			func() (cost.Fig7Row, error) {
+				rows, err := cost.Fig7([]int{sizes[i]}, topo.DGXH200GPUsPerNode, cat)
+				if err != nil {
+					return cost.Fig7Row{}, err
+				}
+				return rows[0], nil
+			})
+	})
 }
 
 // Fig7Table renders the Fig. 7 comparison with per-design cost/power and
@@ -97,6 +116,12 @@ func Fig7Table() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Fig7RowsTable(rows), nil
+}
+
+// Fig7RowsTable renders already-computed Fig. 7 rows (e.g. from an
+// Engine's CostComparison).
+func Fig7RowsTable(rows []cost.Fig7Row) *report.Table {
 	t := report.NewTable("Fig. 7: GPU-backend network cost and power (DGX H200, 400G)",
 		"GPUs", "Fat-tree cost", "Rail cost", "Opus cost", "Cost saving",
 		"Fat-tree power", "Rail power", "Opus power", "Power saving")
@@ -108,7 +133,7 @@ func Fig7Table() (*report.Table, error) {
 			r.FatTree.TotalPower(), r.Rail.TotalPower(), r.Opus.TotalPower(),
 			fmt.Sprintf("%.2f%%", 100*powerFrac))
 	}
-	return t, nil
+	return t
 }
 
 // Fig8Table renders a latency sweep as the Fig. 8 series.

@@ -39,15 +39,29 @@ type WindowReport struct {
 // should have ≥ 2 iterations; the paper uses 10 and analyzes the CDF
 // over all of them, with the per-class breakdown taken from a single
 // steady-state iteration.
+//
+// The traced baseline run goes through DefaultEngine's cache, so
+// repeated analyses of the same workload simulate it once.
 func AnalyzeWindows(w Workload) (*WindowReport, error) {
+	return DefaultEngine().AnalyzeWindows(w)
+}
+
+// AnalyzeWindows is the engine form of the package-level function: the
+// traced simulation is memoized per workload, the analysis itself is
+// recomputed and each report gets its own copy of the trace, so
+// callers may freely mutate the report without corrupting the cache.
+func (en *Engine) AnalyzeWindows(w Workload) (*WindowReport, error) {
 	if w.Iterations < 1 {
 		return nil, fmt.Errorf("photonrail: need at least one iteration")
 	}
-	_, inner, err := simulate(w, Fabric{Kind: ElectricalRail}, true)
+	inner, err := en.simulateTraced(w)
 	if err != nil {
 		return nil, err
 	}
-	tr := inner.Trace
+	if inner.Trace == nil || inner.Trace.Iterations() == 0 {
+		return nil, fmt.Errorf("photonrail: trace has no iterations to analyze")
+	}
+	tr := inner.Trace.Clone()
 	rep := &WindowReport{
 		PerRailCDF:     make(map[int]*metrics.CDF),
 		Breakdown:      metrics.NewClassifiedHistogram(trace.Classes()...),
@@ -83,6 +97,9 @@ func AnalyzeWindows(w Workload) (*WindowReport, error) {
 		byteSums[class] += float64(win.AfterBytes)
 		byteCounts[class]++
 	}
+	// byteSums only has keys for classes that had at least one window
+	// this iteration, so classes with no windows are skipped and every
+	// division is by a count >= 1.
 	for class, sum := range byteSums {
 		rep.BreakdownBytes[class] = sum / float64(byteCounts[class])
 	}
