@@ -10,9 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"photonrail"
@@ -22,54 +23,77 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("railcost: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "railcost: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("railcost", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig7   = flag.Bool("fig7", false, "print the Fig. 7 comparison")
-		table3 = flag.Bool("table3", false, "print Table 3")
-		bom    = flag.Bool("bom", false, "print per-design bills of materials")
-		gpus   = flag.Int("gpus", 8192, "cluster size for -bom")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		fig7   = fs.Bool("fig7", false, "print the Fig. 7 comparison")
+		table3 = fs.Bool("table3", false, "print Table 3")
+		bom    = fs.Bool("bom", false, "print per-design bills of materials")
+		gpus   = fs.Int("gpus", 8192, "cluster size for -bom")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
 	if !*fig7 && !*table3 && !*bom {
 		*fig7, *table3 = true, true
 	}
-	render := func(t *report.Table) {
+	render := func(t *report.Table) error {
 		var err error
 		if *csv {
-			err = t.CSV(os.Stdout)
+			err = t.CSV(stdout)
 		} else {
-			err = t.Render(os.Stdout)
+			err = t.Render(stdout)
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println()
+		_, err = fmt.Fprintln(stdout)
+		return err
 	}
 	if *table3 {
-		render(photonrail.Table3())
+		if err := render(photonrail.Table3()); err != nil {
+			return err
+		}
 	}
 	if *fig7 {
 		t, err := photonrail.Fig7Table()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		render(t)
+		if err := render(t); err != nil {
+			return err
+		}
 	}
 	if *bom {
+		if *gpus <= 0 {
+			return fmt.Errorf("-gpus must be positive, got %d", *gpus)
+		}
 		cat := cost.DefaultCatalog()
 		ft, err := cost.FatTree(*gpus, cat)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rail, err := cost.RailOptimized(*gpus, topo.DGXH200GPUsPerNode, cat)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		op, err := cost.Opus(*gpus, topo.DGXH200GPUsPerNode, cat)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for _, b := range []cost.BOM{ft, rail, op} {
 			t := report.NewTable(fmt.Sprintf("%s bill of materials (%d GPUs)", b.Design, b.GPUs),
@@ -78,10 +102,13 @@ func main() {
 				t.AddRow(it.Device.Name, it.Count, it.Device.Price, it.Device.Power)
 			}
 			t.AddRow("TOTAL", "", b.TotalCost(), b.TotalPower())
-			render(t)
+			if err := render(t); err != nil {
+				return err
+			}
 		}
 		costFrac, powerFrac := cost.Savings(rail, op)
-		fmt.Printf("Opus vs rail-optimized at %d GPUs: cost -%.1f%%, power -%.2f%% (paper: up to -70.5%% / -95.84%%)\n",
+		fmt.Fprintf(stdout, "Opus vs rail-optimized at %d GPUs: cost -%.1f%%, power -%.2f%% (paper: up to -70.5%% / -95.84%%)\n",
 			*gpus, 100*costFrac, 100*powerFrac)
 	}
+	return nil
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultPrintsTable3AndFig7(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Piezo (Polatis)", "Fig. 7", "8192"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("default output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBOM(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bom", "-gpus", "1024"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fat-tree bill of materials (1024 GPUs)",
+		"TOTAL",
+		"Opus vs rail-optimized at 1024 GPUs",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bom output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-table3", "-csv"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 3 || !strings.Contains(lines[0], ",") {
+		t.Errorf("csv shape:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "---") {
+		t.Error("csv output contains table separator")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-gpus", "0", "-bom"},
+		{"-nope"},
+		{"positional"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"photonrail"
+)
+
+func TestRunGridFromFlagsCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-par", "4:2:2", "-latencies", "5", "-iters", "1", "-format", "csv"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + electrical + photonic@5
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "cell,model,gpu,fabric,latency_ms") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "electrical") || !strings.Contains(lines[2], "photonic") {
+		t.Errorf("rows:\n%s", out.String())
+	}
+}
+
+func TestRunGridJSONShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-par", "4:2:2", "-fabrics", "electrical,static", "-iters", "1", "-format", "json"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Grid  string `json:"grid"`
+		Cells []struct {
+			Cell       string  `json:"cell"`
+			Status     string  `json:"status"`
+			SkipReason string  `json:"skipReason"`
+			Slowdown   float64 `json:"slowdown"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if got.Grid != "custom" || len(got.Cells) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Cells[0].Status != "ok" || got.Cells[0].Slowdown != 1 {
+		t.Errorf("electrical cell = %+v", got.Cells[0])
+	}
+	if got.Cells[1].Status != "skip" || !strings.Contains(got.Cells[1].SkipReason, "C2") {
+		t.Errorf("static cell = %+v", got.Cells[1])
+	}
+}
+
+// TestFig8GridParallelMatchesSequential is the acceptance check: the
+// built-in ≥24-cell grid in parallel produces output byte-identical to
+// -parallel=1, with skips reported and the shared electrical baselines
+// simulated exactly once per batch (5 workloads + 15 photonic + 15
+// provisioned points = 35 misses; every further lookup is a hit).
+func TestFig8GridParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full fig8-5d grid twice")
+	}
+	if n := len(photonrail.Fig8Grid5D().Expand()); n < 24 {
+		t.Fatalf("fig8-5d has %d cells, want >= 24", n)
+	}
+	runGrid := func(parallel string) (string, string) {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-grid", "fig8-5d", "-parallel", parallel, "-stats"}, &out, &errb); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), errb.String()
+	}
+	seq, seqStats := runGrid("1")
+	par, parStats := runGrid("8")
+	if seq != par {
+		t.Error("parallel output differs from sequential")
+	}
+	if !strings.Contains(seq, "skip: ") || !strings.Contains(seq, "(C2)") {
+		t.Error("skips not reported in table output")
+	}
+	for _, stats := range []string{seqStats, parStats} {
+		if !strings.Contains(stats, "/ 35 misses") {
+			t.Errorf("cache stats = %q, want exactly 35 misses (shared baselines simulated once)", stats)
+		}
+	}
+}
+
+func TestParseParallelism(t *testing.T) {
+	p, err := parseParallelism("4:2:2")
+	if err != nil || (p != photonrail.GridParallelism{TP: 4, DP: 2, PP: 2}) {
+		t.Errorf("got %+v, %v", p, err)
+	}
+	p, err = parseParallelism("4:1:2:2:1")
+	if err != nil || p.CP != 2 || p.EP != 1 {
+		t.Errorf("5D got %+v, %v", p, err)
+	}
+	for _, bad := range []string{"", "4", "4:2", "4:2:2:2:2:2", "4:x:2"} {
+		if _, err := parseParallelism(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "nope"},
+		{"-models", "GPT-17"},
+		{"-gpus", "TPU"},
+		{"-fabrics", "teleport"},
+		{"-latencies", "x"},
+		{"-latencies", "-4"},
+		{"-par", "4:2"},
+		{"-schedules", "zigzag"},
+		{"-eager", "maybe"},
+		{"-nic", "3x133"},
+		{"-format", "yaml", "-iters", "1"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestListCatalog(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig8-5d", "Llama3-8B", "A100", "provisioned"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("catalog missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -18,7 +18,7 @@
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
 		return err
 	}
 	lats, err := parseLatencies(*latencies)
@@ -91,13 +94,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
 		if len(selected) == 1 {
-			if err := enc.Encode(out[selected[0]]); err != nil {
+			if err := report.JSON(stdout, out[selected[0]]); err != nil {
 				return err
 			}
-		} else if err := enc.Encode(out); err != nil {
+		} else if err := report.JSON(stdout, out); err != nil {
 			return err
 		}
 	} else {
@@ -142,17 +143,6 @@ func parseLatencies(s string) ([]float64, error) {
 	return out, nil
 }
 
-// tableJSON is the JSON shape of a rendered table experiment.
-type tableJSON struct {
-	Title   string     `json:"title"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
-}
-
-func toTableJSON(t *report.Table) tableJSON {
-	return tableJSON{Title: t.Title, Headers: t.Headers, Rows: t.Rows}
-}
-
 // fig4JSON summarizes the window analysis for scripted consumers.
 type fig4JSON struct {
 	FractionOver1ms float64        `json:"fractionOver1ms"`
@@ -185,11 +175,11 @@ type fig8JSON struct {
 func runExperiment(en *photonrail.Engine, name string, iters, winIters int, lats []float64) (any, error) {
 	switch name {
 	case "table1":
-		return toTableJSON(photonrail.Table1()), nil
+		return photonrail.Table1(), nil
 	case "table2":
-		return toTableJSON(photonrail.Table2()), nil
+		return photonrail.Table2(), nil
 	case "table3":
-		return toTableJSON(photonrail.Table3()), nil
+		return photonrail.Table3(), nil
 	case "fig7":
 		rows, err := en.CostComparison()
 		if err != nil {
@@ -232,8 +222,8 @@ func runExperiment(en *photonrail.Engine, name string, iters, winIters int, lats
 func renderText(w io.Writer, res any) error {
 	var t *report.Table
 	switch v := res.(type) {
-	case tableJSON:
-		t = &report.Table{Title: v.Title, Headers: v.Headers, Rows: v.Rows}
+	case *report.Table:
+		t = v
 	case fig8JSON:
 		t = photonrail.Fig8Table(v.Points)
 	case fig4JSON:

@@ -11,9 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"photonrail"
@@ -22,77 +23,116 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("railwindows: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "railwindows: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("railwindows", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig3   = flag.Bool("fig3", false, "print the Fig. 3 rail timeline")
-		fig4   = flag.Bool("fig4", false, "print the Fig. 4 window analysis")
-		eq1    = flag.Bool("eq1", false, "print Eq. 1 window counts")
-		table1 = flag.Bool("table1", false, "print Table 1")
-		table2 = flag.Bool("table2", false, "print Table 2")
-		iters  = flag.Int("iterations", 10, "iterations for the Fig. 4 CDF")
-		rail   = flag.Int("rail", 0, "rail to analyze")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		fig3   = fs.Bool("fig3", false, "print the Fig. 3 rail timeline")
+		fig4   = fs.Bool("fig4", false, "print the Fig. 4 window analysis")
+		eq1    = fs.Bool("eq1", false, "print Eq. 1 window counts")
+		table1 = fs.Bool("table1", false, "print Table 1")
+		table2 = fs.Bool("table2", false, "print Table 2")
+		iters  = fs.Int("iterations", 10, "iterations for the Fig. 4 CDF")
+		rail   = fs.Int("rail", 0, "rail to analyze")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *iters <= 0 {
+		return fmt.Errorf("-iterations must be positive, got %d", *iters)
+	}
 	if !*fig3 && !*fig4 && !*eq1 && !*table1 && !*table2 {
 		*fig3, *fig4, *eq1, *table1, *table2 = true, true, true, true, true
 	}
-	render := func(t *report.Table) {
+	render := func(t *report.Table) error {
 		var err error
 		if *csv {
-			err = t.CSV(os.Stdout)
+			err = t.CSV(stdout)
 		} else {
-			err = t.Render(os.Stdout)
+			err = t.Render(stdout)
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println()
+		_, err = fmt.Fprintln(stdout)
+		return err
 	}
 
 	if *table1 {
-		render(photonrail.Table1())
+		if err := render(photonrail.Table1()); err != nil {
+			return err
+		}
 	}
 	if *table2 {
-		render(photonrail.Table2())
+		if err := render(photonrail.Table2()); err != nil {
+			return err
+		}
 	}
 	if *eq1 {
 		t := report.NewTable("Eq. 1: windows per iteration",
 			"Workload", "PP", "Layers", "Microbatches", "CP", "EP", "Windows")
-		add := func(label string, pp, layers, mb int, cp, ep bool) {
+		add := func(label string, pp, layers, mb int, cp, ep bool) error {
 			n, err := photonrail.WindowCount(pp, layers, mb, cp, ep)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			t.AddRow(label, pp, layers, mb, cp, ep, n)
+			return nil
 		}
-		add("Llama3-8B (paper §3.1)", 2, 32, 12, false, false)
-		add("Llama3.1-405B (1k H100)", 16, 126, 16, true, false)
-		add("5D (CP+EP)", 4, 32, 8, true, true)
-		render(t)
+		if err := add("Llama3-8B (paper §3.1)", 2, 32, 12, false, false); err != nil {
+			return err
+		}
+		if err := add("Llama3.1-405B (1k H100)", 16, 126, 16, true, false); err != nil {
+			return err
+		}
+		if err := add("5D (CP+EP)", 4, 32, 8, true, true); err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
 		n, _ := photonrail.WindowCount(16, 126, 16, true, false)
-		fmt.Printf("Llama3.1-405B: %.1f windows/second at 20s iterations (paper: ~6/s)\n\n",
+		fmt.Fprintf(stdout, "Llama3.1-405B: %.1f windows/second at 20s iterations (paper: ~6/s)\n\n",
 			parallelism.WindowsPerSecond(n, 20))
 	}
 	if *fig3 || *fig4 {
 		w := photonrail.PaperWorkload(*iters)
 		rep, err := photonrail.AnalyzeWindows(w)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if *fig3 {
 			iter := 1
 			if *iters < 2 {
 				iter = 0
 			}
-			render(photonrail.TimelineTable(rep.Trace, *rail, iter))
+			if err := render(photonrail.TimelineTable(rep.Trace, *rail, iter)); err != nil {
+				return err
+			}
 		}
 		if *fig4 {
 			cdf, breakdown := photonrail.Fig4Tables(rep)
-			render(cdf)
-			render(breakdown)
-			fmt.Printf("windows over 1ms: %.0f%% (paper: >75%%)\n", 100*rep.FractionOver1ms)
+			if err := render(cdf); err != nil {
+				return err
+			}
+			if err := render(breakdown); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "windows over 1ms: %.0f%% (paper: >75%%)\n", 100*rep.FractionOver1ms)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTablesAndEq1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-table1", "-table2", "-eq1"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"TP, DP & PP",      // Table 1
+		"fwd AG per layer", // Table 2
+		"windows/second",   // Eq. 1 summary line
+		"Llama3.1-405B",    // Eq. 1 row
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFig3Fig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the traced workload")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-fig3", "-fig4", "-iterations", "2"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rail1", "windows over 1ms:", "AG"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-table1", "-csv"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ",") || strings.Contains(out.String(), "---") {
+		t.Errorf("csv shape:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-iterations", "0"},
+		{"-nope"},
+		{"positional"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

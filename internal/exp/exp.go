@@ -126,9 +126,24 @@ func Cached[T any](e *Engine, key string, fn func() (T, error)) (T, error) {
 // Do/Cached (which run inline on the worker) but must not call Map —
 // nested fan-out could exhaust the pool and deadlock.
 func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapProgress(e, n, fn, nil)
+}
+
+// MapProgress is Map with a completion hook: after each job finishes
+// (in completion order, not submission order), onDone is called with
+// the running completed count and the total. Calls are serialized, so
+// onDone may write to a shared sink without locking; it must not block,
+// or it stalls the pool. A nil onDone makes MapProgress exactly Map.
+//
+// The hook reports progress only — the returned slice is still ordered
+// by submission index, so parallel output stays byte-identical to a
+// sequential run.
+func MapProgress[T any](e *Engine, n int, fn func(i int) (T, error), onDone func(completed, total int)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
@@ -136,6 +151,12 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 			e.slots <- struct{}{}
 			defer func() { <-e.slots }()
 			out[i], errs[i] = fn(i)
+			if onDone != nil {
+				progressMu.Lock()
+				completed++
+				onDone(completed, n)
+				progressMu.Unlock()
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -180,3 +180,66 @@ func TestKeyCanonical(t *testing.T) {
 		t.Fatal("part boundary not canonical")
 	}
 }
+
+func TestMapProgressReportsEveryCompletion(t *testing.T) {
+	e := New(4)
+	var mu sync.Mutex
+	var dones []int
+	out, err := MapProgress(e, 25, func(i int) (int, error) { return i, nil },
+		func(completed, total int) {
+			if total != 25 {
+				t.Errorf("total = %d", total)
+			}
+			mu.Lock()
+			dones = append(dones, completed)
+			mu.Unlock()
+		})
+	if err != nil || len(out) != 25 {
+		t.Fatalf("out = %d, %v", len(out), err)
+	}
+	if len(dones) != 25 {
+		t.Fatalf("progress calls = %d", len(dones))
+	}
+	// Completion counts are serialized: each call sees the running count.
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("dones = %v", dones)
+		}
+	}
+	// Results still gathered by submission index.
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapProgressNilHookIsMap(t *testing.T) {
+	e := New(2)
+	out, err := MapProgress(e, 3, func(i int) (int, error) { return i * 2, nil }, nil)
+	if err != nil || len(out) != 3 || out[2] != 4 {
+		t.Fatalf("out = %v, %v", out, err)
+	}
+}
+
+func TestMapProgressHookRunsOnFailure(t *testing.T) {
+	e := New(2)
+	calls := 0
+	var mu sync.Mutex
+	_, err := MapProgress(e, 4, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}, func(completed, total int) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if calls != 4 {
+		t.Errorf("progress calls = %d, want 4 (every job completes)", calls)
+	}
+}

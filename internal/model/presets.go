@@ -74,3 +74,18 @@ func ByName(name string) (Spec, bool) {
 	}
 	return Spec{}, false
 }
+
+// GPUPresets lists the built-in GPU compute models.
+func GPUPresets() []GPU {
+	return []GPU{A100, H100, H200}
+}
+
+// GPUByName returns the GPU preset with the given name.
+func GPUByName(name string) (GPU, bool) {
+	for _, g := range GPUPresets() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GPU{}, false
+}

@@ -118,6 +118,31 @@ type Profile struct {
 	pos map[workload.TaskID]int
 }
 
+// Equal reports whether two profiles record the same per-rail op order.
+// Profiles from distinct runs never share pointers (buildProfile always
+// allocates), so convergence checks must compare contents, not
+// identities.
+func (p *Profile) Equal(q *Profile) bool {
+	if p == nil || q == nil {
+		return p == q
+	}
+	if len(p.order) != len(q.order) {
+		return false
+	}
+	for rail, ids := range p.order {
+		qids, ok := q.order[rail]
+		if !ok || len(qids) != len(ids) {
+			return false
+		}
+		for i, id := range ids {
+			if qids[i] != id {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // provisionLookahead bounds how many distinct upcoming groups the shim
 // manager coalesces into one speculative request batch — the groups of
 // the next parallelism phase (one per data shard, typically).

@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // Property: WriteMessage/ReadMessage round-trip any message, and
@@ -55,6 +56,56 @@ func TestProtocolRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: group-sync grants are issued to member ranks in sorted rank
+// order, every time. The controller runs grant callbacks in attach
+// order, so acquireLocked iterating its waiting map directly made queue
+// order and grant telemetry vary run to run; issuing per-rank Acquires
+// in sorted order pins it. Ranks arrive in a scrambled order and the
+// check repeats across fresh servers to catch map-iteration randomness.
+func TestAcquireGrantOrderProperty(t *testing.T) {
+	members := []int{0, 4, 8, 12} // rail 0 of the 4x4 cluster
+	arrival := []int{12, 0, 8, 4}
+	for trial := 0; trial < 10; trial++ {
+		s := newTestServer(t, 0)
+		fatal := make(chan string, 8)
+		granted := make(chan int, len(members))
+		s.dispatch(&Message{Type: MsgRegister, Seq: 1, Rank: 0, Group: "g", Ranks: members},
+			func(m *Message) {
+				if m.Type == MsgErr {
+					fatal <- m.Error
+				}
+			})
+		for i, r := range arrival {
+			r := r
+			s.dispatch(&Message{Type: MsgAcquire, Seq: uint64(2 + i), Rank: r, Rail: 0, Group: "g"},
+				func(m *Message) {
+					if m.Type == MsgErr {
+						fatal <- m.Error
+						return
+					}
+					granted <- r
+				})
+		}
+		var got []int
+		for range members {
+			select {
+			case r := <-granted:
+				got = append(got, r)
+			case msg := <-fatal:
+				t.Fatalf("trial %d: %s", trial, msg)
+			case <-time.After(2 * time.Second):
+				t.Fatalf("trial %d: grant never arrived (got %v)", trial, got)
+			}
+		}
+		for i, r := range got {
+			if r != members[i] {
+				t.Fatalf("trial %d: grant order %v, want %v", trial, got, members)
+			}
+		}
+		_ = s.Close()
 	}
 }
 

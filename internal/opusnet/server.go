@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -156,10 +157,23 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// replyBuffer bounds the per-connection reply queue. A healthy shim has
+// at most a handful of outstanding requests, so a connection this many
+// replies behind has a dead or wedged socket.
+const replyBuffer = 64
+
 // handle serves one shim connection. Replies for a connection are
 // serialized through a per-connection writer goroutine so that grant
 // callbacks (which fire under the server mutex) never block on the
 // socket.
+//
+// Two rules keep a sick connection from wedging the whole server:
+// the writer keeps draining out after a socket error (discarding
+// messages) until the channel closes, and reply never blocks — if the
+// buffer is full the connection is dead or wedged, so the reply is
+// dropped and the connection closed (surfacing an error to the peer)
+// rather than parked under s.mu, where it would deadlock every other
+// connection's dispatch.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -168,14 +182,18 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	out := make(chan *Message, 64)
+	out := make(chan *Message, replyBuffer)
 	var wout sync.WaitGroup
 	wout.Add(1)
 	go func() {
 		defer wout.Done()
+		dead := false
 		for m := range out {
+			if dead {
+				continue // drain so reply senders never block on a dead socket
+			}
 			if err := WriteMessage(conn, m); err != nil {
-				return
+				dead = true
 			}
 		}
 	}()
@@ -183,7 +201,15 @@ func (s *Server) handle(conn net.Conn) {
 	defer close(out)
 	reply := func(m *Message) {
 		defer func() { recover() }() // connection torn down mid-grant
-		out <- m
+		select {
+		case out <- m:
+		default:
+			// replyBuffer outstanding replies: the peer is dead or
+			// wedged. Close the connection so its shim sees an error
+			// instead of waiting forever on the dropped reply (and so
+			// the read loop tears the handler down).
+			_ = conn.Close()
+		}
 	}
 	for {
 		msg, err := ReadMessage(conn)
@@ -306,9 +332,17 @@ func (s *Server) acquireLocked(msg *Message, reply func(*Message)) error {
 	delete(s.pendingSync, msg.Group)
 	// One controller-level acquisition per member keeps the
 	// active-transfer accounting symmetric with per-rank releases.
-	for rank, send := range sync.waiting {
+	// Ranks are issued in sorted order: the controller runs grant
+	// callbacks in attach order, so iterating the waiting map directly
+	// would make queue order and grant telemetry vary run to run.
+	ranks := make([]int, 0, len(sync.waiting))
+	for rank := range sync.waiting {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		send := sync.waiting[rank]
 		seq := sync.seqs[rank]
-		send := send
 		cb := func() { send(&Message{Type: MsgAck, Seq: seq}) }
 		if err := s.ctrl.Acquire(topo.RailID(msg.Rail), g, cb); err != nil {
 			return err

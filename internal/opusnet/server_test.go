@@ -1,0 +1,89 @@
+package opusnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDeadConnectionDoesNotDeadlockServer is the regression test for
+// the reply-under-mutex deadlock: dispatch used to hold s.mu while
+// sending on the per-connection out channel, so once a connection's
+// writer stopped consuming (dead or wedged socket) and the buffer
+// filled, the next reply blocked forever with the server mutex held —
+// wedging every other connection process-wide.
+//
+// The test drives one connection over net.Pipe (fully synchronous, so
+// the writer goroutine is wedged the moment the test stops reading),
+// parks a grant on it, floods it with more replies than the buffer
+// holds, and then requires a healthy TCP client to still complete a
+// full register/acquire/stats round.
+func TestDeadConnectionDoesNotDeadlockServer(t *testing.T) {
+	s := newTestServer(t, 0)
+	p1, p2 := net.Pipe()
+	defer p2.Close()
+	s.mu.Lock()
+	s.conns[p1] = true
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.handle(p1)
+
+	// Register rank 0's group, consuming the one reply we ever read:
+	// after this the test never reads p2 again, so the connection's
+	// writer blocks on its first reply and the out buffer only fills.
+	if err := WriteMessage(p2, &Message{Type: MsgRegister, Seq: 1, Rank: 0, Group: "g", Ranks: []int{0, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := ReadMessage(p2); err != nil || ack.Type != MsgAck {
+		t.Fatalf("register reply = %+v, %v", ack, err)
+	}
+	// Park a pending acquire so the eventual grant targets the dead
+	// connection too.
+	if err := WriteMessage(p2, &Message{Type: MsgAcquire, Seq: 2, Rank: 0, Rail: 0, Group: "g"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood more replies than the buffer holds. Pre-fix, dispatch blocks
+	// on reply ~replyBuffer+2 with s.mu held and this goroutine never
+	// finishes (its pipe write waits on the stuck read loop). Post-fix
+	// the server drops the overflow and closes the wedged connection, so
+	// the flood either completes or fails fast with a write error — only
+	// a timeout means the deadlock is back.
+	floodDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < replyBuffer+20; i++ {
+			if err := WriteMessage(p2, &Message{Type: MsgStatsReq, Seq: uint64(100 + i)}); err != nil {
+				floodDone <- err
+				return
+			}
+		}
+		floodDone <- nil
+	}()
+	select {
+	case <-floodDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server wedged ingesting requests from a non-reading connection (reply blocked under s.mu)")
+	}
+
+	// A healthy client must still get served, including the group grant
+	// that also targets the dead connection.
+	c4 := dialRank(t, s, 4)
+	if err := c4.RegisterGroup("g", 0, 0, []int{0, 4}); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- c4.Acquire("g", 0) }()
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy client's acquire blocked behind a dead connection")
+	}
+	// Kill the wedged client mid-everything; the server stays up.
+	_ = p2.Close()
+	if _, err := c4.Stats(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -101,6 +102,25 @@ func (t *Table) CSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// MarshalJSON renders the table as {"title", "headers", "rows"}, so a
+// *Table embeds directly in any JSON payload (the cmd/ tools' scripted
+// output format).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.Rows})
+}
+
+// JSON writes any render-ready value as indented JSON with a trailing
+// newline — the machine-readable sibling of Render/CSV.
+func JSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // Bar renders a horizontal ASCII bar of the given fraction of width.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -69,5 +70,38 @@ func TestChart(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("chart missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x, y", 2)
+	var buf strings.Builder
+	if err := JSON(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if got.Title != "T" || len(got.Headers) != 2 || got.Rows[0][0] != "x, y" {
+		t.Errorf("got %+v", got)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("JSON output missing trailing newline")
+	}
+}
+
+func TestJSONIndented(t *testing.T) {
+	var buf strings.Builder
+	if err := JSON(&buf, map[string]int{"k": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "{\n  \"k\": 1\n}\n" {
+		t.Errorf("got %q", buf.String())
 	}
 }

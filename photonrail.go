@@ -195,18 +195,27 @@ func Simulate(w Workload, f Fabric) (*Result, error) {
 // misfire (a pre-installed circuit reorders ops relative to any
 // profile), and the shim then falls back to reactive reconfiguration.
 func simulateProvisionedStable(w Workload, latencyMS float64) (*Result, error) {
+	res, _, err := provisionedStableRuns(w, latencyMS)
+	return res, err
+}
+
+// provisionedStableRuns is simulateProvisionedStable exposing how many
+// provisioned passes actually ran, so tests can assert the convergence
+// early-exit fires (a stable profile must stop the re-profiling loop).
+func provisionedStableRuns(w Workload, latencyMS float64) (*Result, int, error) {
 	prog, err := w.build(topo.FabricPhotonicRail)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	latency := units.FromMilliseconds(latencyMS)
 	// Profiling pass (reactive) — also the fallback schedule.
 	cur, err := netsim.Run(prog, netsim.Options{Mode: netsim.Photonic, ReconfigLatency: latency})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	best := cur
 	profile := cur.Profile
+	passes := 0
 	for pass := 0; pass < 3; pass++ {
 		res, err := netsim.Run(prog, netsim.Options{
 			Mode:            netsim.Photonic,
@@ -215,12 +224,16 @@ func simulateProvisionedStable(w Workload, latencyMS float64) (*Result, error) {
 			Profile:         profile,
 		})
 		if err != nil {
-			return nil, err
+			return nil, passes, err
 		}
+		passes++
 		if res.Total < best.Total {
 			best = res
 		}
-		if res.Profile == profile {
+		// Each run allocates a fresh Profile, so convergence is a
+		// content comparison: the same per-rail op order means another
+		// pass would replay this one exactly.
+		if res.Profile.Equal(profile) {
 			break
 		}
 		profile = res.Profile
@@ -237,7 +250,7 @@ func simulateProvisionedStable(w Workload, latencyMS float64) (*Result, error) {
 	for _, it := range best.IterationTimes {
 		out.IterationSeconds = append(out.IterationSeconds, it.Seconds())
 	}
-	return out, nil
+	return out, passes, nil
 }
 
 func simulate(w Workload, f Fabric, recordTrace bool) (*Result, *netsim.Result, error) {
