@@ -1,0 +1,118 @@
+// Command railclient runs scenario-grid sweeps against a raild daemon.
+// It accepts the same dimension flags and produces byte-identical
+// output to cmd/railgrid — the difference is where the cells simulate:
+// railgrid runs them in-process and forgets its cache on exit, while
+// railclient shares a daemon whose cache stays warm across invocations
+// and whose request-level deduplication coalesces identical concurrent
+// sweeps from any number of clients.
+//
+// Usage:
+//
+//	railclient -addr 127.0.0.1:9090 -grid fig8-5d
+//	railclient -fabrics electrical,photonic -latencies 1,10 -format csv
+//	railclient -daemon-stats            # print serving telemetry only
+//
+// Parallelism coordinates are TP:DP:PP[:CP[:EP]], as in railgrid.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"photonrail/internal/gridcli"
+	"photonrail/internal/railserve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "railclient: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("railclient", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dims := gridcli.Register(fs)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:9090", "raild daemon address")
+		list      = fs.Bool("list", false, "list built-in grids and presets, then exit")
+		format    = fs.String("format", "table", "output format: table, csv, or json")
+		progress  = fs.Bool("progress", false, "print per-cell progress to stderr as the daemon streams it")
+		stats     = fs.Bool("stats", false, "print daemon serving stats to stderr after the run")
+		statsOnly = fs.Bool("daemon-stats", false, "print daemon serving stats and exit (no sweep)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: railclient [flags]\nparallelism coordinates are TP:DP:PP[:CP[:EP]]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (railclient takes flags only)", fs.Args())
+	}
+	if *list {
+		gridcli.PrintCatalog(stdout)
+		return nil
+	}
+	if err := gridcli.CheckFormat(*format); err != nil {
+		return err
+	}
+
+	printStats := func(c *railserve.Client, w io.Writer) error {
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "daemon: cache %d hits / %d misses / %d evictions, %d in flight; grids %d executed / %d deduped\n",
+			st.Hits, st.Misses, st.Evictions, st.InFlight, st.GridsExecuted, st.GridsDeduped)
+		return err
+	}
+
+	if *statsOnly {
+		c, err := railserve.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		return printStats(c, stdout)
+	}
+
+	spec, _, err := dims.Spec()
+	if err != nil {
+		return err
+	}
+	c, err := railserve.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	var onProgress func(done, total int)
+	if *progress {
+		onProgress = func(done, total int) { fmt.Fprintf(stderr, "railclient: %d/%d cells\n", done, total) }
+	}
+	run, err := c.RunGrid(spec, onProgress)
+	if err != nil {
+		return err
+	}
+	if run.Shared {
+		fmt.Fprintf(stderr, "railclient: joined an identical in-flight sweep\n")
+	}
+	if err := gridcli.RenderRows(stdout, *format, run.Name, run.Rows); err != nil {
+		return err
+	}
+	if *stats {
+		if err := printStats(c, stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"photonrail/internal/railserve"
+)
+
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	s, err := railserve.NewServer(railserve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s.Addr()
+}
+
+func TestRemoteSweepCSV(t *testing.T) {
+	addr := startDaemon(t)
+	var out, errb bytes.Buffer
+	err := run([]string{"-addr", addr, "-par", "4:2:2", "-latencies", "5", "-iters", "1", "-format", "csv"},
+		&out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + electrical + photonic@5
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "cell,model,gpu,fabric,latency_ms") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRemoteStats(t *testing.T) {
+	addr := startDaemon(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", addr, "-par", "4:2:2", "-latencies", "5", "-iters", "1",
+		"-format", "csv", "-stats", "-progress"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "grids 1 executed") {
+		t.Errorf("stats = %q", errb.String())
+	}
+	if !strings.Contains(errb.String(), "railclient: ") {
+		t.Errorf("no progress lines in %q", errb.String())
+	}
+	var so, se bytes.Buffer
+	if err := run([]string{"-addr", addr, "-daemon-stats"}, &so, &se); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(so.String(), "daemon: cache") {
+		t.Errorf("daemon-stats = %q", so.String())
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	addr := startDaemon(t)
+	cases := [][]string{
+		{"-addr", addr, "-models", "GPT-17"},
+		{"-addr", addr, "-format", "yaml"},
+		{"-addr", "127.0.0.1:1", "-par", "4:2:2"}, // nothing listening
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestListCatalog(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig8-5d") {
+		t.Errorf("catalog = %q", out.String())
+	}
+}

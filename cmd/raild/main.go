@@ -1,0 +1,81 @@
+// Command raild is the long-running sweep-serving daemon: it listens
+// for scenario-grid requests on the opusnet framed protocol, shards
+// each grid's cells across a shared worker pool, keeps the simulation
+// cache warm across requests (bounded, so the daemon is safe to run
+// indefinitely), deduplicates identical in-flight requests across
+// concurrent clients, and streams per-cell progress back.
+//
+// Usage:
+//
+//	raild                            # listen on 127.0.0.1:9090
+//	raild -addr :7070 -parallel 8    # custom address and pool size
+//	raild -cache 4096                # cache at most 4096 simulation units
+//
+// Drive it with cmd/railclient, which accepts railgrid's dimension
+// flags.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"photonrail/internal/railserve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, stop); err != nil {
+		fmt.Fprintf(os.Stderr, "raild: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and serves until stop delivers. It is the
+// testable core: main wires OS signals in, tests feed the channel
+// directly.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("raild", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9090", "TCP listen address")
+		parallel = fs.Int("parallel", 0, "worker count (0 = NumCPU)")
+		cache    = fs.Int64("cache", 4096, "max cached simulation cost in units (0 = unbounded)")
+		verbose  = fs.Bool("verbose", false, "log each served request to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (raild takes flags only)", fs.Args())
+	}
+	if *cache < 0 {
+		return fmt.Errorf("-cache must be >= 0, got %d", *cache)
+	}
+	cfg := railserve.Config{
+		Addr:         *addr,
+		Workers:      *parallel,
+		MaxCacheCost: *cache,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	s, err := railserve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "raild: listening on %s\n", s.Addr())
+	<-stop
+	fmt.Fprintf(stdout, "raild: shutting down\n")
+	return s.Close()
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"photonrail/internal/goldentest"
+)
+
+// TestGoldenOutputs pins railgrid's three output formats for a small
+// canonical grid, byte for byte. The simulator is deterministic, so any
+// diff is a real output change; regenerate intentionally with
+// `go test ./cmd/railgrid -run Golden -update`.
+func TestGoldenOutputs(t *testing.T) {
+	base := []string{
+		"-models", "Llama3-8B", "-par", "4:2:2",
+		"-fabrics", "electrical,photonic,static", "-latencies", "5", "-iters", "1",
+	}
+	for _, format := range []string{"table", "csv", "json"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if err := run(append(base, "-format", format), &out, &errb); err != nil {
+				t.Fatal(err)
+			}
+			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", "small."+format))
+		})
+	}
+}

@@ -14,7 +14,9 @@
 //	railgrid -grid fig8-5d -format csv -stats
 //	railgrid -models Mixtral-8x7B -par 4:1:2:1:2 -format json
 //
-// Parallelism coordinates are TP:DP:PP[:CP[:EP]].
+// Parallelism coordinates are TP:DP:PP[:CP[:EP]]. The dimension flags
+// and output formats are shared with cmd/railclient, which runs the
+// same sweeps against a raild daemon instead of in-process.
 package main
 
 import (
@@ -23,16 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
 	"photonrail"
-	"photonrail/internal/model"
-	"photonrail/internal/report"
-	"photonrail/internal/scenario"
-	"photonrail/internal/topo"
-	"photonrail/internal/workload"
+	"photonrail/internal/gridcli"
 )
 
 func main() {
@@ -45,25 +40,13 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("railgrid", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	dims := gridcli.Register(fs)
 	var (
-		gridName  = fs.String("grid", "", "built-in grid name (see -list); dimension flags override its axes")
-		list      = fs.Bool("list", false, "list built-in grids and presets, then exit")
-		models    = fs.String("models", "", "comma-separated model presets (e.g. Llama3-8B,Mixtral-8x7B)")
-		gpus      = fs.String("gpus", "", "comma-separated GPU presets (e.g. A100,H100)")
-		fabrics   = fs.String("fabrics", "", "comma-separated fabric kinds: electrical,photonic,provisioned,static")
-		latencies = fs.String("latencies", "", "comma-separated reconfiguration latencies in ms")
-		par       = fs.String("par", "", "comma-separated parallelisms TP:DP:PP[:CP[:EP]] (e.g. 4:2:2,4:1:2:2)")
-		schedules = fs.String("schedules", "", "comma-separated pipeline schedules: 1F1B,GPipe")
-		jitters   = fs.String("jitters", "", "comma-separated compute jitter fractions (e.g. 0,0.03)")
-		eager     = fs.String("eager", "", "comma-separated EagerRS values: false,true")
-		nic       = fs.String("nic", "", "NIC port split: 1x400, 2x200, or 4x100")
-		mb        = fs.Int("mb", 0, "microbatches per iteration (0 = grid default)")
-		mbs       = fs.Int("mbs", 0, "microbatch size (0 = grid default)")
-		iters     = fs.Int("iters", 0, "training iterations per cell (0 = grid default)")
-		parallel  = fs.Int("parallel", 0, "worker count (0 = NumCPU)")
-		format    = fs.String("format", "table", "output format: table, csv, or json")
-		stats     = fs.Bool("stats", false, "print engine cache stats to stderr")
-		progress  = fs.Bool("progress", false, "print per-cell progress to stderr")
+		list     = fs.Bool("list", false, "list built-in grids and presets, then exit")
+		parallel = fs.Int("parallel", 0, "worker count (0 = NumCPU)")
+		format   = fs.String("format", "table", "output format: table, csv, or json")
+		stats    = fs.Bool("stats", false, "print engine cache stats to stderr")
+		progress = fs.Bool("progress", false, "print per-cell progress to stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: railgrid [flags]\nparallelism coordinates are TP:DP:PP[:CP[:EP]]\n")
@@ -79,38 +62,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments %q (railgrid takes flags only)", fs.Args())
 	}
 	if *list {
-		printCatalog(stdout)
+		gridcli.PrintCatalog(stdout)
 		return nil
 	}
-	switch *format {
-	case "table", "csv", "json":
-	default:
-		return fmt.Errorf("unknown format %q (want table, csv, json)", *format)
-	}
-
-	var g photonrail.Grid
-	if *gridName != "" {
-		mk, ok := scenario.Grids()[*gridName]
-		if !ok {
-			names := gridNames()
-			return fmt.Errorf("unknown grid %q (built-ins: %s)", *gridName, strings.Join(names, ", "))
-		}
-		g = mk()
-	}
-	if err := applyDimensionFlags(&g, *models, *gpus, *fabrics, *latencies, *par, *schedules, *jitters, *eager, *nic); err != nil {
+	if err := gridcli.CheckFormat(*format); err != nil {
 		return err
 	}
-	if *mb > 0 {
-		g.Microbatches = *mb
-	}
-	if *mbs > 0 {
-		g.MicrobatchSize = *mbs
-	}
-	if *iters > 0 {
-		g.Iterations = *iters
-	}
-	if g.Name == "" {
-		g.Name = "custom"
+	_, g, err := dims.Spec()
+	if err != nil {
+		return err
 	}
 
 	var onCell func(done, total int)
@@ -122,193 +82,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	switch *format {
-	case "table":
-		if err := res.Table().Render(stdout); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "\n%d cells: %d ok, %d skipped\n",
-			len(res.Cells), len(res.Cells)-len(res.Skips()), len(res.Skips()))
-	case "csv":
-		if err := res.CSVTable().CSV(stdout); err != nil {
-			return err
-		}
-	case "json":
-		out := struct {
-			Grid  string         `json:"grid"`
-			Cells []scenario.Row `json:"cells"`
-		}{g.Name, res.Rows()}
-		if err := report.JSON(stdout, out); err != nil {
-			return err
-		}
+	if err := gridcli.RenderRows(stdout, *format, g.Name, res.Rows()); err != nil {
+		return err
 	}
 	if *stats {
 		st := en.CacheStats()
-		fmt.Fprintf(stderr, "engine: %d workers, cache %d hits / %d misses\n",
-			en.Workers(), st.Hits, st.Misses)
+		fmt.Fprintf(stderr, "engine: %d workers, cache %d hits / %d misses / %d evictions\n",
+			en.Workers(), st.Hits, st.Misses, st.Evictions)
 	}
 	return nil
-}
-
-func gridNames() []string {
-	var names []string
-	for name := range scenario.Grids() {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
-
-func printCatalog(w io.Writer) {
-	fmt.Fprintf(w, "built-in grids: %s\n", strings.Join(gridNames(), ", "))
-	var ms, gs []string
-	for _, m := range model.Presets() {
-		ms = append(ms, m.Name)
-	}
-	for _, g := range model.GPUPresets() {
-		gs = append(gs, g.Name)
-	}
-	fmt.Fprintf(w, "model presets:  %s\n", strings.Join(ms, ", "))
-	fmt.Fprintf(w, "gpu presets:    %s\n", strings.Join(gs, ", "))
-	fmt.Fprintf(w, "fabric kinds:   electrical, photonic, provisioned, static\n")
-	fmt.Fprintf(w, "schedules:      1F1B, GPipe\n")
-	fmt.Fprintf(w, "nic splits:     1x400, 2x200, 4x100\n")
-}
-
-// applyDimensionFlags overlays non-empty flag values onto the grid (a
-// named grid's axes when -grid was given, the zero grid's paper
-// defaults otherwise).
-func applyDimensionFlags(g *photonrail.Grid, models, gpus, fabrics, latencies, par, schedules, jitters, eager, nic string) error {
-	if models != "" {
-		g.Models = nil
-		for _, name := range splitList(models) {
-			m, ok := model.ByName(name)
-			if !ok {
-				return fmt.Errorf("unknown model %q (presets: %s)", name, presetNames())
-			}
-			g.Models = append(g.Models, m)
-		}
-	}
-	if gpus != "" {
-		g.GPUs = nil
-		for _, name := range splitList(gpus) {
-			gp, ok := model.GPUByName(name)
-			if !ok {
-				return fmt.Errorf("unknown GPU %q", name)
-			}
-			g.GPUs = append(g.GPUs, gp)
-		}
-	}
-	if fabrics != "" {
-		g.Fabrics = nil
-		for _, name := range splitList(fabrics) {
-			k, ok := scenario.FabricKindByName(name)
-			if !ok {
-				return fmt.Errorf("unknown fabric kind %q (want electrical, photonic, provisioned, static)", name)
-			}
-			g.Fabrics = append(g.Fabrics, k)
-		}
-	}
-	if latencies != "" {
-		g.LatenciesMS = nil
-		for _, s := range splitList(latencies) {
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				return fmt.Errorf("bad latency %q: %w", s, err)
-			}
-			g.LatenciesMS = append(g.LatenciesMS, v)
-		}
-	}
-	if par != "" {
-		g.Parallelisms = nil
-		for _, s := range splitList(par) {
-			p, err := parseParallelism(s)
-			if err != nil {
-				return err
-			}
-			g.Parallelisms = append(g.Parallelisms, p)
-		}
-	}
-	if schedules != "" {
-		g.Schedules = nil
-		for _, s := range splitList(schedules) {
-			switch s {
-			case "1F1B":
-				g.Schedules = append(g.Schedules, workload.OneFOneB)
-			case "GPipe":
-				g.Schedules = append(g.Schedules, workload.GPipe)
-			default:
-				return fmt.Errorf("unknown schedule %q (want 1F1B, GPipe)", s)
-			}
-		}
-	}
-	if jitters != "" {
-		g.JitterFracs = nil
-		for _, s := range splitList(jitters) {
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				return fmt.Errorf("bad jitter %q: %w", s, err)
-			}
-			g.JitterFracs = append(g.JitterFracs, v)
-		}
-	}
-	if eager != "" {
-		g.EagerRS = nil
-		for _, s := range splitList(eager) {
-			v, err := strconv.ParseBool(s)
-			if err != nil {
-				return fmt.Errorf("bad eager value %q: %w", s, err)
-			}
-			g.EagerRS = append(g.EagerRS, v)
-		}
-	}
-	if nic != "" {
-		switch nic {
-		case "1x400":
-			g.NIC = topo.OnePort400G
-		case "2x200":
-			g.NIC = topo.TwoPort200G
-		case "4x100":
-			g.NIC = topo.FourPort100G
-		default:
-			return fmt.Errorf("unknown NIC split %q (want 1x400, 2x200, 4x100)", nic)
-		}
-	}
-	return nil
-}
-
-func presetNames() string {
-	var names []string
-	for _, m := range model.Presets() {
-		names = append(names, m.Name)
-	}
-	return strings.Join(names, ", ")
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// parseParallelism parses TP:DP:PP[:CP[:EP]].
-func parseParallelism(s string) (photonrail.GridParallelism, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) < 3 || len(parts) > 5 {
-		return photonrail.GridParallelism{}, fmt.Errorf("bad parallelism %q: want TP:DP:PP[:CP[:EP]]", s)
-	}
-	vals := make([]int, 5)
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return photonrail.GridParallelism{}, fmt.Errorf("bad parallelism %q: %w", s, err)
-		}
-		vals[i] = v
-	}
-	return photonrail.GridParallelism{TP: vals[0], DP: vals[1], PP: vals[2], CP: vals[3], EP: vals[4]}, nil
 }

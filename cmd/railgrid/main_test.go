@@ -90,22 +90,6 @@ func TestFig8GridParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestParseParallelism(t *testing.T) {
-	p, err := parseParallelism("4:2:2")
-	if err != nil || (p != photonrail.GridParallelism{TP: 4, DP: 2, PP: 2}) {
-		t.Errorf("got %+v, %v", p, err)
-	}
-	p, err = parseParallelism("4:1:2:2:1")
-	if err != nil || p.CP != 2 || p.EP != 1 {
-		t.Errorf("5D got %+v, %v", p, err)
-	}
-	for _, bad := range []string{"", "4", "4:2", "4:2:2:2:2:2", "4:x:2"} {
-		if _, err := parseParallelism(bad); err == nil {
-			t.Errorf("%q accepted", bad)
-		}
-	}
-}
-
 func TestRunRejectsBadInput(t *testing.T) {
 	cases := [][]string{
 		{"-grid", "nope"},

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"photonrail/internal/goldentest"
+)
+
+// TestGoldenOutputs pins railsweep's canonical invocations byte for
+// byte: the static tables, the Fig. 7 cost comparison, and a two-point
+// Fig. 8 sweep, in both text and JSON. Regenerate intentionally with
+// `go test ./cmd/railsweep -run Golden -update`.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"tables.table", []string{"table1", "table2", "table3"}},
+		{"fig7.table", []string{"fig7"}},
+		{"fig7.json", []string{"-json", "fig7"}},
+		{"fig8.table", []string{"-latencies", "0,10", "-iters", "1", "fig8"}},
+		{"fig8.json", []string{"-json", "-latencies", "0,10", "-iters", "1", "fig8"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if err := run(tc.args, &out, &errb); err != nil {
+				t.Fatal(err)
+			}
+			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", tc.name))
+		})
+	}
+}

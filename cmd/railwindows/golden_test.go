@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"photonrail/internal/goldentest"
+)
+
+// TestGoldenOutputs pins railwindows's canonical invocations byte for
+// byte: the Eq. 1 / Table 1-2 summaries in text and CSV, and the
+// Fig. 3 + Fig. 4 trace analysis at two iterations. Regenerate
+// intentionally with `go test ./cmd/railwindows -run Golden -update`.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"eq1_tables.table", []string{"-eq1", "-table1", "-table2"}},
+		{"table1.csv", []string{"-table1", "-csv"}},
+		{"fig34_2iter.table", []string{"-fig3", "-fig4", "-iterations", "2"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if err := run(tc.args, &out, &errb); err != nil {
+				t.Fatal(err)
+			}
+			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", tc.name))
+		})
+	}
+}

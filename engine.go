@@ -19,10 +19,29 @@ type Engine struct {
 	pool *exp.Engine
 }
 
-// NewEngine builds an engine with the given worker count; workers <= 0
-// selects runtime.NumCPU(). Each engine owns an independent cache.
+// Cache entry costs, in simulation units: a traced result pins the full
+// per-op trace (orders of magnitude more memory than the timing
+// summary), so it weighs more against a bounded engine's budget.
+const (
+	costSim    = 1
+	costTraced = 8
+)
+
+// NewEngine builds an engine with the given worker count and an
+// unbounded cache; workers <= 0 selects runtime.NumCPU(). Each engine
+// owns an independent cache.
 func NewEngine(workers int) *Engine {
 	return &Engine{pool: exp.New(workers)}
+}
+
+// NewBoundedEngine builds an engine whose memo cache is capped at
+// maxCost simulation units, evicting least-recently-used results once
+// the cap is exceeded (plain simulations cost 1 unit, trace-recording
+// runs cost more). maxCost <= 0 means unbounded. Bounded engines are
+// what long-running servers (cmd/raild) use to stay memory-safe
+// indefinitely; one-shot CLI runs keep the unbounded default.
+func NewBoundedEngine(workers int, maxCost int64) *Engine {
+	return &Engine{pool: exp.NewBounded(workers, maxCost)}
 }
 
 // defaultEngine backs the package-level experiment functions
@@ -31,11 +50,14 @@ func NewEngine(workers int) *Engine {
 var defaultEngine = NewEngine(0)
 
 // DefaultEngine returns the process-wide engine used by the
-// package-level experiment functions. Its cache retains every distinct
-// (Workload, Fabric) result — including full traces for AnalyzeWindows
-// — for the life of the process; long-running callers iterating over
-// many distinct workloads should call ResetCache between batches or
-// use a dedicated NewEngine per batch.
+// package-level experiment functions. Its cache is unbounded: it
+// retains every distinct (Workload, Fabric) result — including full
+// traces for AnalyzeWindows — for the life of the process. Long-running
+// callers iterating over many distinct workloads should use a dedicated
+// NewBoundedEngine, which evicts cold results automatically; ResetCache
+// remains available to drop everything at a batch boundary and is safe
+// to call concurrently with in-flight work (running simulations are
+// kept, so singleflight deduplication holds across the reset).
 func DefaultEngine() *Engine { return defaultEngine }
 
 // Workers reports the pool size.
@@ -43,41 +65,52 @@ func (en *Engine) Workers() int { return en.pool.Workers() }
 
 // CacheStats is the engine's memoization telemetry: Hits counts
 // requests served from a memoized (or in-flight) simulation, Misses
-// counts simulations actually run.
+// counts simulations actually run, Evictions counts results dropped by
+// a bounded engine's LRU cap, and InFlight is the number of simulations
+// currently running.
 type CacheStats struct {
-	Hits, Misses uint64
+	Hits, Misses, Evictions uint64
+	InFlight                int64
 }
 
 // CacheStats reports the telemetry accumulated since construction.
 func (en *Engine) CacheStats() CacheStats {
 	st := en.pool.Stats()
-	return CacheStats{Hits: st.Hits, Misses: st.Misses}
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		InFlight:  st.InFlight,
+	}
 }
 
 // ResetCache drops all memoized simulation results (telemetry counters
-// keep accumulating).
+// keep accumulating). In-flight simulations survive: their callers
+// still get results, and concurrent requests for an in-flight key keep
+// joining the running computation instead of duplicating it.
 func (en *Engine) ResetCache() { en.pool.ResetCache() }
 
 // Simulate is the memoized form of the package-level Simulate: the
 // result of each distinct (Workload, Fabric) pair is computed once per
 // engine and shared. Treat the returned Result as read-only.
 func (en *Engine) Simulate(w Workload, f Fabric) (*Result, error) {
-	return exp.Cached(en.pool, exp.Key("simulate", w, f), func() (*Result, error) {
+	return exp.CachedCost(en.pool, exp.Key("simulate", w, f), costSim, func() (*Result, error) {
 		return Simulate(w, f)
 	})
 }
 
 // provisionedStable is the memoized simulateProvisionedStable.
 func (en *Engine) provisionedStable(w Workload, latencyMS float64) (*Result, error) {
-	return exp.Cached(en.pool, exp.Key("provisioned-stable", w, latencyMS), func() (*Result, error) {
+	return exp.CachedCost(en.pool, exp.Key("provisioned-stable", w, latencyMS), costSim, func() (*Result, error) {
 		return simulateProvisionedStable(w, latencyMS)
 	})
 }
 
 // simulateTraced is the memoized trace-recording electrical-baseline
-// run that the window analysis consumes.
+// run that the window analysis consumes. Traced results carry the full
+// per-op trace, so they weigh costTraced units in a bounded cache.
 func (en *Engine) simulateTraced(w Workload) (*netsim.Result, error) {
-	return exp.Cached(en.pool, exp.Key("simulate-traced", w), func() (*netsim.Result, error) {
+	return exp.CachedCost(en.pool, exp.Key("simulate-traced", w), costTraced, func() (*netsim.Result, error) {
 		_, inner, err := simulate(w, Fabric{Kind: ElectricalRail}, true)
 		return inner, err
 	})

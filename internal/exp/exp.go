@@ -5,6 +5,14 @@
 // electrical baseline every sweep point normalizes against) are
 // computed exactly once per engine and reused across experiments.
 //
+// The cache can be cost-bounded for long-running servers: every entry
+// carries a caller-declared cost (heavier for results that pin more
+// memory, e.g. full traces), and when the completed-entry cost sum
+// exceeds the bound the least-recently-used entries are evicted.
+// In-flight computations are never evicted and survive ResetCache, so
+// singleflight deduplication holds across resets: two concurrent
+// requests for one key never both compute, reset or not.
+//
 // Results are always gathered by submission index, never by completion
 // order, and errors are reported lowest-index-first, so a parallel run
 // is byte-identical to a sequential one as long as the jobs themselves
@@ -12,6 +20,7 @@
 package exp
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -21,78 +30,146 @@ import (
 )
 
 // Engine is a bounded worker pool with a memoizing result cache.
-// Construct with New; the zero value is not usable.
+// Construct with New or NewBounded; the zero value is not usable.
 type Engine struct {
 	workers int
 	slots   chan struct{}
 
-	mu    sync.Mutex
-	cache map[string]*entry
+	mu      sync.Mutex
+	cache   map[string]*entry
+	lru     *list.List // completed entries, most-recent at front
+	maxCost int64      // 0 = unbounded
+	curCost int64      // cost sum of completed entries
 
-	hits, misses atomic.Uint64
+	hits, misses, evictions atomic.Uint64
+	inflight                atomic.Int64
 }
 
 // entry is one cache slot. done is closed when val/err are final, so
 // concurrent requests for an in-flight key block instead of recomputing.
+// While running the entry lives only in the cache map; on completion it
+// is pushed onto the LRU list with its cost (running entries are never
+// evicted and survive ResetCache, preserving singleflight).
 type entry struct {
+	key  string
 	done chan struct{}
 	val  any
 	err  error
+	cost int64
+	elem *list.Element // nil while running or after eviction
 }
 
-// New builds an engine with the given worker count; workers <= 0
-// selects runtime.NumCPU().
+// New builds an engine with the given worker count and an unbounded
+// cache; workers <= 0 selects runtime.NumCPU().
 func New(workers int) *Engine {
+	return NewBounded(workers, 0)
+}
+
+// NewBounded builds an engine whose completed-entry cost sum is capped
+// at maxCost (in the caller's cost units; DoCost declares each entry's
+// cost, plain Do costs 1). maxCost <= 0 means unbounded. The
+// most-recently-used entry is never evicted, so a single entry costlier
+// than the whole bound still serves repeat hits while it stays hot.
+func NewBounded(workers int, maxCost int64) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	if maxCost < 0 {
+		maxCost = 0
 	}
 	return &Engine{
 		workers: workers,
 		slots:   make(chan struct{}, workers),
 		cache:   make(map[string]*entry),
+		lru:     list.New(),
+		maxCost: maxCost,
 	}
 }
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// MaxCost reports the cache cost bound (0 = unbounded).
+func (e *Engine) MaxCost() int64 { return e.maxCost }
+
 // Stats is the cache telemetry: Hits counts requests served from a
-// memoized (or in-flight) computation, Misses counts computations run.
+// memoized (or in-flight) computation, Misses counts computations run,
+// Evictions counts completed entries dropped by the LRU bound, and
+// InFlight is the number of computations currently running.
 type Stats struct {
-	Hits, Misses uint64
+	Hits, Misses, Evictions uint64
+	InFlight                int64
 }
 
 // Stats reports the cache telemetry accumulated since construction
 // (ResetCache does not clear it).
 func (e *Engine) Stats() Stats {
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	return Stats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.evictions.Load(),
+		InFlight:  e.inflight.Load(),
+	}
 }
 
-// ResetCache drops all memoized results.
+// CachedCost reports the completed-entry cost sum currently held.
+func (e *Engine) CachedCost() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.curCost
+}
+
+// ResetCache drops all memoized results. In-flight computations are
+// kept: their waiters still resolve, their results are still installed
+// on completion, and a concurrent request for one of their keys joins
+// the running computation instead of duplicating it.
 func (e *Engine) ResetCache() {
 	e.mu.Lock()
-	e.cache = make(map[string]*entry)
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	for key, ent := range e.cache {
+		if ent.elem == nil {
+			continue // running: keep, so singleflight holds across the reset
+		}
+		e.lru.Remove(ent.elem)
+		ent.elem = nil
+		delete(e.cache, key)
+	}
+	e.curCost = 0
 }
 
-// Do returns the memoized result of fn under key, computing it at most
-// once per engine; concurrent callers of the same key block until the
-// first computation finishes (singleflight). Errors are memoized too —
-// the jobs keyed here are deterministic, so retrying cannot succeed.
+// Do returns the memoized result of fn under key with cost 1; see
+// DoCost.
+func (e *Engine) Do(key string, fn func() (any, error)) (any, error) {
+	return e.DoCost(key, 1, fn)
+}
+
+// DoCost returns the memoized result of fn under key, computing it at
+// most once per engine; concurrent callers of the same key block until
+// the first computation finishes (singleflight). Errors are memoized
+// too — the jobs keyed here are deterministic, so retrying cannot
+// succeed. cost weighs the entry against the engine's LRU bound (use
+// higher costs for results that pin more memory, e.g. full traces).
 // fn runs on the caller's goroutine and must not itself submit work to
 // the engine's pool.
-func (e *Engine) Do(key string, fn func() (any, error)) (any, error) {
+func (e *Engine) DoCost(key string, cost int64, fn func() (any, error)) (any, error) {
+	if cost < 1 {
+		cost = 1
+	}
 	e.mu.Lock()
 	if ent, ok := e.cache[key]; ok {
+		if ent.elem != nil {
+			e.lru.MoveToFront(ent.elem)
+		}
 		e.mu.Unlock()
 		e.hits.Add(1)
 		<-ent.done
 		return ent.val, ent.err
 	}
-	ent := &entry{done: make(chan struct{})}
+	ent := &entry{key: key, done: make(chan struct{}), cost: cost}
 	e.cache[key] = ent
 	e.mu.Unlock()
 	e.misses.Add(1)
+	e.inflight.Add(1)
 	completed := false
 	defer func() {
 		// A panicking fn must still release waiters: record the failure
@@ -101,6 +178,8 @@ func (e *Engine) Do(key string, fn func() (any, error)) (any, error) {
 		if !completed {
 			ent.err = fmt.Errorf("exp: computation for key %q panicked", key)
 		}
+		e.inflight.Add(-1)
+		e.complete(ent)
 		close(ent.done)
 	}()
 	ent.val, ent.err = fn()
@@ -108,10 +187,45 @@ func (e *Engine) Do(key string, fn func() (any, error)) (any, error) {
 	return ent.val, ent.err
 }
 
+// complete installs a finished entry on the LRU list and enforces the
+// cost bound. The entry may have been dropped from the map by a
+// concurrent ResetCache only if it was already completed — a running
+// entry is always kept — so here it is still present and becomes
+// evictable from now on.
+func (e *Engine) complete(ent *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent.elem = e.lru.PushFront(ent)
+	e.curCost += ent.cost
+	e.evictLocked()
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cost sum fits the bound, always sparing the most-recent entry.
+func (e *Engine) evictLocked() {
+	if e.maxCost <= 0 {
+		return
+	}
+	for e.curCost > e.maxCost && e.lru.Len() > 1 {
+		back := e.lru.Back()
+		victim := back.Value.(*entry)
+		e.lru.Remove(back)
+		victim.elem = nil
+		delete(e.cache, victim.key)
+		e.curCost -= victim.cost
+		e.evictions.Add(1)
+	}
+}
+
 // Cached is the typed wrapper over Do. The memoized value is shared by
 // every caller of the key: treat it as read-only.
 func Cached[T any](e *Engine, key string, fn func() (T, error)) (T, error) {
-	v, err := e.Do(key, func() (any, error) { return fn() })
+	return CachedCost(e, key, 1, fn)
+}
+
+// CachedCost is the typed wrapper over DoCost.
+func CachedCost[T any](e *Engine, key string, cost int64, fn func() (T, error)) (T, error) {
+	v, err := e.DoCost(key, cost, func() (any, error) { return fn() })
 	if err != nil {
 		var zero T
 		return zero, err

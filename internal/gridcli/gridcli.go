@@ -1,0 +1,259 @@
+// Package gridcli is the shared command-line surface of the grid
+// tools: cmd/railgrid (local execution) and cmd/railclient (remote
+// execution against a raild daemon) register the same dimension flags,
+// build the same wire-encodable scenario.Spec from them, and render
+// results through the same table/CSV/JSON renderers, so a railgrid
+// invocation and its railclient twin differ only in where the cells
+// simulate.
+package gridcli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"photonrail/internal/model"
+	"photonrail/internal/report"
+	"photonrail/internal/scenario"
+	"photonrail/internal/topo"
+)
+
+// Dimensions holds the registered dimension flag values.
+type Dimensions struct {
+	gridName  *string
+	models    *string
+	gpus      *string
+	fabrics   *string
+	latencies *string
+	par       *string
+	schedules *string
+	jitters   *string
+	eager     *string
+	nic       *string
+	mb        *int
+	mbs       *int
+	iters     *int
+}
+
+// Register installs the grid dimension flags on fs and returns their
+// holder; call Spec after fs.Parse.
+func Register(fs *flag.FlagSet) *Dimensions {
+	return &Dimensions{
+		gridName:  fs.String("grid", "", "built-in grid name (see -list); dimension flags override its axes"),
+		models:    fs.String("models", "", "comma-separated model presets (e.g. Llama3-8B,Mixtral-8x7B)"),
+		gpus:      fs.String("gpus", "", "comma-separated GPU presets (e.g. A100,H100)"),
+		fabrics:   fs.String("fabrics", "", "comma-separated fabric kinds: electrical,photonic,provisioned,static"),
+		latencies: fs.String("latencies", "", "comma-separated reconfiguration latencies in ms"),
+		par:       fs.String("par", "", "comma-separated parallelisms TP:DP:PP[:CP[:EP]] (e.g. 4:2:2,4:1:2:2)"),
+		schedules: fs.String("schedules", "", "comma-separated pipeline schedules: 1F1B,GPipe"),
+		jitters:   fs.String("jitters", "", "comma-separated compute jitter fractions (e.g. 0,0.03)"),
+		eager:     fs.String("eager", "", "comma-separated EagerRS values: false,true"),
+		nic:       fs.String("nic", "", "NIC port split: 1x400, 2x200, or 4x100"),
+		mb:        fs.Int("mb", 0, "microbatches per iteration (0 = grid default)"),
+		mbs:       fs.Int("mbs", 0, "microbatch size (0 = grid default)"),
+		iters:     fs.Int("iters", 0, "training iterations per cell (0 = grid default)"),
+	}
+}
+
+// Spec builds the wire-encodable grid spec the flags describe — a named
+// grid's axes when -grid was given (the zero grid's paper defaults
+// otherwise), overlaid with every non-empty dimension flag — along with
+// its resolved, validated Grid. Unknown names and malformed dimensions
+// fail here, not at execution time; railgrid runs the returned grid
+// locally, railclient sends the spec to a daemon.
+func (d *Dimensions) Spec() (scenario.Spec, scenario.Grid, error) {
+	var spec scenario.Spec
+	if *d.gridName != "" {
+		mk, ok := scenario.Grids()[*d.gridName]
+		if !ok {
+			return scenario.Spec{}, scenario.Grid{}, fmt.Errorf("unknown grid %q (built-ins: %s)", *d.gridName, strings.Join(GridNames(), ", "))
+		}
+		spec = scenario.SpecOf(mk())
+	}
+	if *d.models != "" {
+		spec.Models = splitList(*d.models)
+	}
+	if *d.gpus != "" {
+		spec.GPUs = splitList(*d.gpus)
+	}
+	if *d.fabrics != "" {
+		spec.Fabrics = splitList(*d.fabrics)
+	}
+	if *d.latencies != "" {
+		spec.LatenciesMS = nil
+		for _, s := range splitList(*d.latencies) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return scenario.Spec{}, scenario.Grid{}, fmt.Errorf("bad latency %q: %w", s, err)
+			}
+			spec.LatenciesMS = append(spec.LatenciesMS, v)
+		}
+	}
+	if *d.par != "" {
+		spec.Parallelisms = nil
+		for _, s := range splitList(*d.par) {
+			p, err := ParseParallelism(s)
+			if err != nil {
+				return scenario.Spec{}, scenario.Grid{}, err
+			}
+			spec.Parallelisms = append(spec.Parallelisms, p)
+		}
+	}
+	if *d.schedules != "" {
+		spec.Schedules = splitList(*d.schedules)
+	}
+	if *d.jitters != "" {
+		spec.JitterFracs = nil
+		for _, s := range splitList(*d.jitters) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return scenario.Spec{}, scenario.Grid{}, fmt.Errorf("bad jitter %q: %w", s, err)
+			}
+			spec.JitterFracs = append(spec.JitterFracs, v)
+		}
+	}
+	if *d.eager != "" {
+		spec.EagerRS = nil
+		for _, s := range splitList(*d.eager) {
+			v, err := strconv.ParseBool(s)
+			if err != nil {
+				return scenario.Spec{}, scenario.Grid{}, fmt.Errorf("bad eager value %q: %w", s, err)
+			}
+			spec.EagerRS = append(spec.EagerRS, v)
+		}
+	}
+	if *d.nic != "" {
+		var pc topo.PortConfig
+		switch *d.nic {
+		case "1x400":
+			pc = topo.OnePort400G
+		case "2x200":
+			pc = topo.TwoPort200G
+		case "4x100":
+			pc = topo.FourPort100G
+		default:
+			return scenario.Spec{}, scenario.Grid{}, fmt.Errorf("unknown NIC split %q (want 1x400, 2x200, 4x100)", *d.nic)
+		}
+		spec.NICPorts = pc.Ports
+		spec.NICPerPortBps = int64(pc.PerPort)
+	}
+	if *d.mb > 0 {
+		spec.Microbatches = *d.mb
+	}
+	if *d.mbs > 0 {
+		spec.MicrobatchSize = *d.mbs
+	}
+	if *d.iters > 0 {
+		spec.Iterations = *d.iters
+	}
+	if spec.Name == "" {
+		spec.Name = "custom"
+	}
+	// Fail fast on unknown names and malformed grids: the daemon would
+	// reject them too, but a CLI should not need a round trip to say so.
+	g, err := spec.Resolve()
+	if err != nil {
+		return scenario.Spec{}, scenario.Grid{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return scenario.Spec{}, scenario.Grid{}, err
+	}
+	return spec, g, nil
+}
+
+// ParseParallelism parses TP:DP:PP[:CP[:EP]].
+func ParseParallelism(s string) (scenario.Parallelism, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 || len(parts) > 5 {
+		return scenario.Parallelism{}, fmt.Errorf("bad parallelism %q: want TP:DP:PP[:CP[:EP]]", s)
+	}
+	vals := make([]int, 5)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return scenario.Parallelism{}, fmt.Errorf("bad parallelism %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	return scenario.Parallelism{TP: vals[0], DP: vals[1], PP: vals[2], CP: vals[3], EP: vals[4]}, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CheckFormat validates a -format value.
+func CheckFormat(format string) error {
+	switch format {
+	case "table", "csv", "json":
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want table, csv, json)", format)
+}
+
+// RenderRows writes executed grid rows in the chosen format — the
+// aligned table (with an ok/skip footer), the fully numeric CSV, or the
+// {"grid", "cells"} JSON document. railgrid renders local results,
+// railclient renders daemon results; the bytes are identical.
+func RenderRows(w io.Writer, format, name string, rows []scenario.Row) error {
+	switch format {
+	case "table":
+		if err := scenario.TableFromRows(name, rows).Render(w); err != nil {
+			return err
+		}
+		skipped := 0
+		for _, row := range rows {
+			if row.Status == "skip" {
+				skipped++
+			}
+		}
+		_, err := fmt.Fprintf(w, "\n%d cells: %d ok, %d skipped\n", len(rows), len(rows)-skipped, skipped)
+		return err
+	case "csv":
+		return scenario.CSVTableFromRows(rows).CSV(w)
+	case "json":
+		out := struct {
+			Grid  string         `json:"grid"`
+			Cells []scenario.Row `json:"cells"`
+		}{name, rows}
+		return report.JSON(w, out)
+	}
+	return CheckFormat(format)
+}
+
+// GridNames lists the built-in grids, sorted.
+func GridNames() []string {
+	var names []string
+	for name := range scenario.Grids() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PrintCatalog lists the built-in grids and the preset spellings every
+// dimension flag accepts.
+func PrintCatalog(w io.Writer) {
+	fmt.Fprintf(w, "built-in grids: %s\n", strings.Join(GridNames(), ", "))
+	var ms, gs []string
+	for _, m := range model.Presets() {
+		ms = append(ms, m.Name)
+	}
+	for _, g := range model.GPUPresets() {
+		gs = append(gs, g.Name)
+	}
+	fmt.Fprintf(w, "model presets:  %s\n", strings.Join(ms, ", "))
+	fmt.Fprintf(w, "gpu presets:    %s\n", strings.Join(gs, ", "))
+	fmt.Fprintf(w, "fabric kinds:   electrical, photonic, provisioned, static\n")
+	fmt.Fprintf(w, "schedules:      1F1B, GPipe\n")
+	fmt.Fprintf(w, "nic splits:     1x400, 2x200, 4x100\n")
+}

@@ -1,0 +1,163 @@
+package gridcli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"photonrail/internal/scenario"
+)
+
+func specFromArgs(t *testing.T, args ...string) (scenario.Spec, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	d := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	spec, g, err := d.Spec()
+	if err == nil {
+		// The returned grid is the spec's resolution — callers rely on
+		// them agreeing.
+		want, rerr := spec.Resolve()
+		if rerr != nil {
+			t.Fatalf("returned spec does not resolve: %v", rerr)
+		}
+		if !reflect.DeepEqual(g, want) {
+			t.Fatalf("returned grid diverges from spec resolution")
+		}
+	}
+	return spec, err
+}
+
+func TestSpecFromFlags(t *testing.T) {
+	spec, err := specFromArgs(t,
+		"-models", "Llama3-8B", "-fabrics", "electrical,photonic",
+		"-latencies", "5,20", "-par", "4:2:2,4:1:2:2", "-nic", "2x200", "-iters", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "custom" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	if len(spec.Parallelisms) != 2 || spec.Parallelisms[1].CP != 2 {
+		t.Errorf("parallelisms = %+v", spec.Parallelisms)
+	}
+	if spec.NICPorts != 2 || spec.NICPerPortBps != 200e9 {
+		t.Errorf("nic = %d x %d bps", spec.NICPorts, spec.NICPerPortBps)
+	}
+	if spec.Iterations != 3 {
+		t.Errorf("iterations = %d", spec.Iterations)
+	}
+	if _, err := spec.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecNamedGridWithOverrides(t *testing.T) {
+	spec, err := specFromArgs(t, "-grid", "fig8-5d", "-latencies", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "fig8-5d" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	if len(spec.LatenciesMS) != 1 || spec.LatenciesMS[0] != 7 {
+		t.Errorf("latencies = %v, want the override", spec.LatenciesMS)
+	}
+	if len(spec.Models) != 2 {
+		t.Errorf("models = %v, want the named grid's", spec.Models)
+	}
+}
+
+func TestSpecRejectsBadDimensions(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "nope"},
+		{"-models", "GPT-17"},
+		{"-gpus", "TPU"},
+		{"-fabrics", "teleport"},
+		{"-latencies", "x"},
+		{"-latencies", "-4"},
+		{"-par", "4:2"},
+		{"-schedules", "zigzag"},
+		{"-jitters", "2"},
+		{"-eager", "maybe"},
+		{"-nic", "3x133"},
+	}
+	for _, args := range cases {
+		if _, err := specFromArgs(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseParallelism(t *testing.T) {
+	p, err := ParseParallelism("4:2:2")
+	if err != nil || (p != scenario.Parallelism{TP: 4, DP: 2, PP: 2}) {
+		t.Errorf("got %+v, %v", p, err)
+	}
+	p, err = ParseParallelism("4:1:2:2:1")
+	if err != nil || p.CP != 2 || p.EP != 1 {
+		t.Errorf("5D got %+v, %v", p, err)
+	}
+	for _, bad := range []string{"", "4", "4:2", "4:2:2:2:2:2", "4:x:2"} {
+		if _, err := ParseParallelism(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRenderRowsFormats(t *testing.T) {
+	rows := []scenario.Row{
+		{Cell: "c1", Model: "Llama3-8B", GPU: "A100", Fabric: "photonic", LatencyMS: 10,
+			TP: 4, DP: 2, PP: 2, Schedule: "1F1B", Status: "ok",
+			MeanIterationSeconds: 1.5, Slowdown: 1.01},
+		{Cell: "c2", Model: "Llama3-8B", GPU: "A100", Fabric: "static",
+			TP: 4, DP: 2, PP: 2, Schedule: "1F1B", Status: "skip", SkipReason: "C2"},
+	}
+	var table, csv, js bytes.Buffer
+	if err := RenderRows(&table, "table", "g", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), `Scenario grid "g"`) ||
+		!strings.Contains(table.String(), "2 cells: 1 ok, 1 skipped") {
+		t.Errorf("table:\n%s", table.String())
+	}
+	if err := RenderRows(&csv, "csv", "g", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "cell,model,gpu,fabric,latency_ms") {
+		t.Errorf("csv:\n%s", csv.String())
+	}
+	if err := RenderRows(&js, "json", "g", rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Grid  string         `json:"grid"`
+		Cells []scenario.Row `json:"cells"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Grid != "g" || len(doc.Cells) != 2 {
+		t.Errorf("json doc = %+v", doc)
+	}
+	if err := RenderRows(io.Discard, "yaml", "g", rows); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestPrintCatalog(t *testing.T) {
+	var out bytes.Buffer
+	PrintCatalog(&out)
+	for _, want := range []string{"fig8-5d", "Llama3-8B", "A100", "provisioned", "GPipe"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+}

@@ -8,6 +8,11 @@
 // and adds the §4.1 group-sync step: a reconfiguration request is acted
 // on only once every rank of the communication group has issued it, and
 // all ranks are acknowledged together.
+//
+// The same framed protocol also carries the raild sweep-serving
+// messages: a client submits a scenario-grid request (MsgGridReq), the
+// daemon streams per-cell progress frames (MsgGridProgress) and finally
+// the executed rows (MsgGridResult). See internal/railserve.
 package opusnet
 
 import (
@@ -15,6 +20,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"photonrail/internal/scenario"
 )
 
 // MsgType discriminates wire messages.
@@ -43,6 +50,16 @@ const (
 	MsgErr MsgType = "error"
 	// MsgStatsResp carries telemetry.
 	MsgStatsResp MsgType = "stats_resp"
+
+	// MsgGridReq submits a scenario grid for execution on a raild
+	// daemon; Spec carries the grid's wire form.
+	MsgGridReq MsgType = "grid_req"
+	// MsgGridProgress streams per-cell completion counts for a running
+	// grid request (correlated by Seq; advisory, may be dropped on a
+	// slow connection).
+	MsgGridProgress MsgType = "grid_progress"
+	// MsgGridResult carries a completed grid's rows.
+	MsgGridResult MsgType = "grid_result"
 )
 
 // Message is the single wire envelope.
@@ -64,6 +81,43 @@ type Message struct {
 	Error string `json:"error,omitempty"`
 	// Stats carries telemetry (MsgStatsResp).
 	Stats *StatsPayload `json:"stats,omitempty"`
+	// Spec declares the requested scenario grid (MsgGridReq).
+	Spec *scenario.Spec `json:"spec,omitempty"`
+	// Progress reports cells completed so far (MsgGridProgress).
+	Progress *GridProgress `json:"progress,omitempty"`
+	// Grid carries an executed grid's rows (MsgGridResult).
+	Grid *GridResultPayload `json:"grid,omitempty"`
+	// Cache carries a raild daemon's serving telemetry (MsgStatsResp).
+	Cache *CacheStatsPayload `json:"cache,omitempty"`
+}
+
+// GridProgress is one per-cell progress tick of a running grid.
+type GridProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// GridResultPayload is the executed grid in wire form: the flat rows
+// every renderer consumes, plus the daemon's dedup verdict.
+type GridResultPayload struct {
+	Name string         `json:"name"`
+	Rows []scenario.Row `json:"rows"`
+	// Shared reports the request was coalesced onto an identical
+	// in-flight request from another client (request-level singleflight)
+	// instead of executing the grid again.
+	Shared bool `json:"shared,omitempty"`
+}
+
+// CacheStatsPayload mirrors the daemon's engine and serving telemetry
+// over the wire: the memo-cache counters plus the request-level grid
+// dedup counters.
+type CacheStatsPayload struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	InFlight      int64  `json:"inFlight"`
+	GridsExecuted uint64 `json:"gridsExecuted"`
+	GridsDeduped  uint64 `json:"gridsDeduped"`
 }
 
 // StatsPayload mirrors opus.Stats over the wire.
@@ -76,8 +130,10 @@ type StatsPayload struct {
 }
 
 // maxFrame bounds a frame to keep a malformed peer from ballooning
-// memory.
-const maxFrame = 1 << 20
+// memory. Grid results carry one row per cell (~400 bytes each), so
+// 8 MiB comfortably frames grids of thousands of cells while still
+// rejecting garbage lengths.
+const maxFrame = 8 << 20
 
 // WriteMessage frames and writes one message: a 4-byte big-endian length
 // followed by the JSON body.

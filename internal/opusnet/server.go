@@ -142,6 +142,9 @@ func (s *Server) acceptLoop() {
 				return
 			}
 			log.Printf("opusnet: accept: %v", err)
+			// Persistent accept errors (e.g. fd exhaustion) would
+			// otherwise busy-spin the loop and flood the log.
+			time.Sleep(10 * time.Millisecond)
 			continue
 		}
 		s.mu.Lock()

@@ -1,0 +1,167 @@
+package railserve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"photonrail/internal/opusnet"
+	"photonrail/internal/scenario"
+)
+
+// Client is a connection to a raild daemon. One client may pipeline
+// several concurrent RunGrid calls on the one connection; replies are
+// correlated by sequence number.
+type Client struct {
+	conn net.Conn
+
+	// wmu serializes frame writes: WriteMessage issues two conn.Write
+	// calls (header, body), so concurrent pipelined requests would
+	// interleave bytes and corrupt the stream without it.
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*pendingCall
+	readErr error
+}
+
+// pendingCall is one outstanding request: progress frames tick the
+// callback, the final frame (result, stats, or error) lands on result.
+type pendingCall struct {
+	onProgress func(done, total int)
+	result     chan *opusnet.Message
+}
+
+// Dial connects to the daemon at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]*pendingCall),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; outstanding calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	for {
+		msg, err := opusnet.ReadMessage(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, p := range c.pending {
+				close(p.result)
+			}
+			c.pending = make(map[uint64]*pendingCall)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		p, ok := c.pending[msg.Seq]
+		if ok && msg.Type != opusnet.MsgGridProgress {
+			delete(c.pending, msg.Seq) // final frame for this call
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // reply for an abandoned call
+		}
+		if msg.Type == opusnet.MsgGridProgress {
+			if p.onProgress != nil && msg.Progress != nil {
+				p.onProgress(msg.Progress.Done, msg.Progress.Total)
+			}
+			continue
+		}
+		p.result <- msg
+	}
+}
+
+// start registers a pending call and writes the request.
+func (c *Client) start(m *opusnet.Message, onProgress func(done, total int)) (*pendingCall, error) {
+	p := &pendingCall{onProgress: onProgress, result: make(chan *opusnet.Message, 1)}
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("railserve: connection down: %w", err)
+	}
+	c.seq++
+	m.Seq = c.seq
+	c.pending[m.Seq] = p
+	c.mu.Unlock()
+	c.wmu.Lock()
+	err := opusnet.WriteMessage(c.conn, m)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, m.Seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return p, nil
+}
+
+// await blocks for a call's final frame.
+func (p *pendingCall) await() (*opusnet.Message, error) {
+	resp, ok := <-p.result
+	if !ok {
+		return nil, fmt.Errorf("railserve: connection closed awaiting reply")
+	}
+	if resp.Type == opusnet.MsgErr {
+		return nil, fmt.Errorf("railserve: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// GridRun is one executed grid as the daemon reported it.
+type GridRun struct {
+	// Name is the grid's name (for rendering).
+	Name string
+	// Rows are the executed cells in expansion order.
+	Rows []scenario.Row
+	// Shared reports the daemon coalesced this request onto an identical
+	// in-flight request from another client.
+	Shared bool
+}
+
+// RunGrid submits the grid spec and blocks until the daemon returns the
+// executed rows. onProgress, when non-nil, receives per-cell completion
+// ticks as the daemon streams them (calls are serialized per request;
+// ticks may be dropped on a slow connection — they are advisory).
+func (c *Client) RunGrid(spec scenario.Spec, onProgress func(done, total int)) (*GridRun, error) {
+	p, err := c.start(&opusnet.Message{Type: opusnet.MsgGridReq, Spec: &spec}, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.await()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != opusnet.MsgGridResult || resp.Grid == nil {
+		return nil, fmt.Errorf("railserve: unexpected reply %q to grid request", resp.Type)
+	}
+	return &GridRun{Name: resp.Grid.Name, Rows: resp.Grid.Rows, Shared: resp.Grid.Shared}, nil
+}
+
+// Stats fetches the daemon's serving telemetry.
+func (c *Client) Stats() (opusnet.CacheStatsPayload, error) {
+	p, err := c.start(&opusnet.Message{Type: opusnet.MsgStatsReq}, nil)
+	if err != nil {
+		return opusnet.CacheStatsPayload{}, err
+	}
+	resp, err := p.await()
+	if err != nil {
+		return opusnet.CacheStatsPayload{}, err
+	}
+	if resp.Type != opusnet.MsgStatsResp || resp.Cache == nil {
+		return opusnet.CacheStatsPayload{}, fmt.Errorf("railserve: unexpected reply %q to stats request", resp.Type)
+	}
+	return *resp.Cache, nil
+}

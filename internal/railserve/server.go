@@ -1,0 +1,424 @@
+// Package railserve is the sweep-serving daemon behind cmd/raild: a
+// long-running TCP service that executes scenario grids for remote
+// clients over the opusnet framed protocol. Where every one-shot CLI
+// run rebuilds the memo cache from scratch, the daemon keeps one
+// engine — and its simulation cache — warm across requests, shards each
+// grid's cells across the engine's worker pool, and streams per-cell
+// progress frames back so clients render live progress.
+//
+// Two layers of deduplication serve concurrent clients:
+//
+//   - request-level singleflight: identical in-flight grid requests
+//     (keyed on the resolved grid) coalesce onto one execution, with
+//     progress and results fanned out to every subscriber;
+//   - simulation-level memoization: distinct grids sharing cells (or
+//     electrical baselines) reuse the engine's cached simulations.
+//
+// The engine is cost-bounded (photonrail.NewBoundedEngine), so the
+// daemon is safe to run indefinitely: cold results are evicted LRU-wise
+// instead of growing without bound.
+//
+// One known limitation: an execution whose every subscriber disconnects
+// is not cancelled — the engine has no cancellation plumbing — so it
+// runs to completion on the shared pool. Its simulations land in the
+// warm cache and serve later requests, but a stream of abandoned
+// distinct grids can still occupy workers; cancellation would need
+// context support in internal/exp.
+package railserve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"photonrail"
+	"photonrail/internal/exp"
+	"photonrail/internal/opusnet"
+)
+
+// Config parameterizes NewServer.
+type Config struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+	// Workers is the engine worker-pool size (0 = NumCPU).
+	Workers int
+	// MaxCacheCost bounds the engine's memo cache in simulation units
+	// (0 = unbounded; see photonrail.NewBoundedEngine).
+	MaxCacheCost int64
+	// Logf, when non-nil, receives one line per served request.
+	Logf func(format string, args ...any)
+}
+
+// Server is the sweep-serving daemon.
+type Server struct {
+	ln     net.Listener
+	engine *photonrail.Engine
+	logf   func(format string, args ...any)
+
+	mu       sync.Mutex
+	inflight map[string]*gridRun // resolved-grid key -> running execution
+	conns    map[net.Conn]bool
+	closed   bool
+	// gridsExecuted counts grid executions actually started;
+	// gridsDeduped counts requests coalesced onto one of them. The gap
+	// between requests received and gridsExecuted is the request-level
+	// dedup win the loopback e2e test asserts on.
+	gridsExecuted, gridsDeduped uint64
+
+	// wg tracks the accept loop and connection handlers — everything
+	// Close must wait for. Grid executions and result deliveries are
+	// tracked separately (execWG): once every connection is closed their
+	// results are undeliverable, so Close abandons them rather than
+	// blocking a shutdown on minutes of unwanted simulation.
+	wg     sync.WaitGroup
+	execWG sync.WaitGroup
+
+	// execGate, when non-nil, is received from before each grid
+	// execution starts — a test-only hook that lets the loopback tests
+	// hold a request in flight deterministically. Guarded by mu.
+	execGate <-chan struct{}
+}
+
+// setExecGate installs the test-only execution gate (under mu, so
+// handler goroutines observe it).
+func (s *Server) setExecGate(gate <-chan struct{}) {
+	s.mu.Lock()
+	s.execGate = gate
+	s.mu.Unlock()
+}
+
+// maxGridName bounds a requested grid's name. The name is echoed into
+// the result payload and error messages; without a bound, a name sized
+// near the 8 MiB request-frame limit would make the reply frame
+// unencodable after the grid had already executed.
+const maxGridName = 256
+
+// maxGridCells caps one request's cell count. The result frame carries
+// one JSON row per cell inside opusnet's 8 MiB frame limit — rows run
+// ~400 bytes and stay under 1 KiB even with pathological coordinate
+// and skip-reason strings, so 4096 cells keep the reply below half the
+// frame limit. Rejecting over-large grids up front (arithmetically,
+// via CellCount, before any expansion) keeps the daemon from being
+// OOM-killed by a huge cross-product or from simulating for minutes
+// only to fail encoding the reply.
+const maxGridCells = 4096
+
+// gridRun is one in-flight grid execution with its subscribers.
+type gridRun struct {
+	done chan struct{}
+	res  *photonrail.GridResult
+	err  error
+
+	mu   sync.Mutex
+	subs []func(done, total int)
+}
+
+// subscribe adds a progress listener; fan-out calls are serialized per
+// run (the engine already serializes its progress hook, but subscribers
+// can be added mid-run).
+func (r *gridRun) subscribe(fn func(done, total int)) {
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}
+
+func (r *gridRun) broadcast(done, total int) {
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(done, total)
+	}
+}
+
+// NewServer starts the daemon listening on cfg.Addr. Close stops it.
+func NewServer(cfg Config) (*Server, error) {
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:       ln,
+		engine:   photonrail.NewBoundedEngine(cfg.Workers, cfg.MaxCacheCost),
+		logf:     cfg.Logf,
+		inflight: make(map[string]*gridRun),
+		conns:    make(map[net.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address for clients to dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Engine exposes the daemon's engine (tests assert on its cache stats).
+func (s *Server) Engine() *photonrail.Engine { return s.engine }
+
+// Stats reports the daemon's serving telemetry: the engine's cache
+// counters plus the request-level grid dedup counters.
+func (s *Server) Stats() opusnet.CacheStatsPayload {
+	st := s.engine.CacheStats()
+	s.mu.Lock()
+	executed, deduped := s.gridsExecuted, s.gridsDeduped
+	s.mu.Unlock()
+	return opusnet.CacheStatsPayload{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		InFlight:      st.InFlight,
+		GridsExecuted: executed,
+		GridsDeduped:  deduped,
+	}
+}
+
+// Close stops accepting, tears down live connections, and waits for
+// their handlers to finish. In-flight grid executions are NOT waited
+// for: their results are undeliverable once the connections are gone,
+// so they wind down on their own (or die with the process) — a SIGTERM
+// never blocks on minutes of abandoned simulation.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Drain waits for in-flight grid executions and result deliveries to
+// finish. Tests use it so abandoned executions never outlive the test
+// that started them; a production shutdown calls Close alone.
+func (s *Server) Drain() { s.execWG.Wait() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			done := s.closed
+			s.mu.Unlock()
+			if done {
+				return
+			}
+			if s.logf != nil {
+				s.logf("railserve: accept: %v", err)
+			}
+			// Persistent accept errors (e.g. fd exhaustion) would
+			// otherwise busy-spin the loop and flood the log.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// replyBuffer bounds the per-connection reply queue: results and
+// progress frames queue here while the socket drains.
+const replyBuffer = 256
+
+// handle serves one client connection. Replies are serialized through a
+// per-connection writer goroutine so progress fan-out (which runs on
+// the engine's pool) never blocks on a socket. Required frames
+// (results, errors) on a wedged connection close it — the reply is
+// dropped, and the peer sees the closed socket instead of waiting
+// forever; advisory progress frames are simply dropped.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	out := make(chan *opusnet.Message, replyBuffer)
+	var wout sync.WaitGroup
+	wout.Add(1)
+	go func() {
+		defer wout.Done()
+		dead := false
+		for m := range out {
+			if dead {
+				continue // drain so senders never block on a dead socket
+			}
+			if err := opusnet.WriteMessage(conn, m); err != nil {
+				// The error may be pre-write (e.g. an oversized frame)
+				// with the socket itself still healthy; close it anyway,
+				// because the peer is now missing a reply it would wait
+				// on forever.
+				dead = true
+				_ = conn.Close()
+			}
+		}
+	}()
+	// A grid execution this connection subscribed to may still broadcast
+	// after the read loop exits; sending on the closed writer channel
+	// would panic. sendClosed gates every reply: once the connection is
+	// torn down, late progress frames and results are dropped (the peer
+	// is gone either way).
+	var sendMu sync.Mutex
+	sendClosed := false
+	defer wout.Wait()
+	defer func() {
+		sendMu.Lock()
+		sendClosed = true
+		sendMu.Unlock()
+		close(out)
+	}()
+	reply := func(m *opusnet.Message, required bool) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		if sendClosed {
+			return
+		}
+		select {
+		case out <- m:
+		default:
+			if required {
+				// replyBuffer outstanding frames: the peer is dead or
+				// wedged. Close the connection so it sees an error
+				// instead of waiting forever on the dropped reply.
+				_ = conn.Close()
+			}
+			// Advisory progress frames are dropped silently.
+		}
+	}
+	for {
+		msg, err := opusnet.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		s.dispatch(msg, reply)
+	}
+}
+
+func (s *Server) dispatch(msg *opusnet.Message, reply func(*opusnet.Message, bool)) {
+	switch msg.Type {
+	case opusnet.MsgGridReq:
+		s.serveGrid(msg, reply)
+	case opusnet.MsgStatsReq:
+		st := s.Stats()
+		reply(&opusnet.Message{Type: opusnet.MsgStatsResp, Seq: msg.Seq, Cache: &st}, true)
+	default:
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: msg.Seq,
+			Error: fmt.Sprintf("railserve: unsupported message type %q", msg.Type)}, true)
+	}
+}
+
+// serveGrid resolves and validates the request, then either joins an
+// identical in-flight execution (request-level singleflight) or starts
+// one. The caller's read loop is never blocked: execution and the final
+// reply run on their own goroutine.
+func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bool)) {
+	seq := msg.Seq
+	fail := func(err error) {
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
+	}
+	if msg.Spec == nil {
+		fail(fmt.Errorf("railserve: grid request without a spec"))
+		return
+	}
+	if len(msg.Spec.Name) > maxGridName {
+		// Deliberately does not echo the name: the refusal frame must
+		// stay encodable.
+		fail(fmt.Errorf("railserve: grid name of %d bytes exceeds the %d-byte limit", len(msg.Spec.Name), maxGridName))
+		return
+	}
+	grid, err := msg.Spec.Resolve()
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := grid.Validate(); err != nil {
+		fail(err)
+		return
+	}
+	// Reject over-large grids before any expansion or simulation: the
+	// count is computed arithmetically, so a spec whose axes multiply
+	// out to billions of cells cannot OOM the daemon, and a grid whose
+	// result frame could never be encoded is refused before burning the
+	// execution.
+	cells := grid.CellCount()
+	if cells > maxGridCells {
+		fail(fmt.Errorf("railserve: grid %q expands to %d cells, exceeding the %d-cell request cap",
+			grid.Name, cells, maxGridCells))
+		return
+	}
+	key := exp.Key("grid", grid)
+
+	s.mu.Lock()
+	gate := s.execGate
+	run, shared := s.inflight[key]
+	if shared {
+		s.gridsDeduped++
+	} else {
+		run = &gridRun{done: make(chan struct{})}
+		s.inflight[key] = run
+		s.gridsExecuted++
+	}
+	s.mu.Unlock()
+
+	run.subscribe(func(done, total int) {
+		reply(&opusnet.Message{Type: opusnet.MsgGridProgress, Seq: seq,
+			Progress: &opusnet.GridProgress{Done: done, Total: total}}, false)
+	})
+
+	if !shared {
+		if s.logf != nil {
+			s.logf("railserve: grid %q: executing (%d cells)", grid.Name, cells)
+		}
+		s.execWG.Add(1)
+		go func() {
+			defer s.execWG.Done()
+			if gate != nil {
+				<-gate // test-only hold, see execGate
+			}
+			run.res, run.err = s.engine.RunGridProgress(grid, run.broadcast)
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			close(run.done)
+		}()
+	} else if s.logf != nil {
+		s.logf("railserve: grid %q: joined in-flight execution", grid.Name)
+	}
+
+	// Deliver the result without blocking the connection's read loop, so
+	// one client can pipeline several grid requests on one connection.
+	s.execWG.Add(1)
+	go func() {
+		defer s.execWG.Done()
+		<-run.done
+		if run.err != nil {
+			fail(run.err)
+			return
+		}
+		reply(&opusnet.Message{Type: opusnet.MsgGridResult, Seq: seq, Grid: &opusnet.GridResultPayload{
+			Name:   grid.Name,
+			Rows:   run.res.Rows(),
+			Shared: shared,
+		}}, true)
+	}()
+}

@@ -16,6 +16,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"photonrail/internal/model"
@@ -78,9 +79,14 @@ func (k FabricKind) reconfigures() bool {
 }
 
 // Parallelism is one {TP,DP,PP,CP,EP} coordinate of the grid. CP and EP
-// are optional axes (0 or 1 = off) — the paper's 4D/5D question.
+// are optional axes (0 or 1 = off) — the paper's 4D/5D question. The
+// JSON tags make the coordinate wire-encodable (see Spec).
 type Parallelism struct {
-	TP, DP, PP, CP, EP int
+	TP int `json:"tp"`
+	DP int `json:"dp"`
+	PP int `json:"pp"`
+	CP int `json:"cp,omitempty"`
+	EP int `json:"ep,omitempty"`
 }
 
 // NumNodes derives the cluster size the coordinate fills: the scale-up
@@ -285,6 +291,41 @@ func (c Cell) Skip() string {
 	return ""
 }
 
+// CellCount reports how many cells Expand would materialize, computed
+// arithmetically from the dimension lengths so callers (e.g. a daemon
+// bounding request size) can reject an oversized grid without paying
+// for — or being OOM-killed by — the expansion itself. Counts beyond
+// math.MaxInt32 clamp there; no executable grid is anywhere near it.
+func (g Grid) CellCount() int {
+	gd := g.withDefaults()
+	perWorkload := int64(0)
+	for _, k := range gd.Fabrics {
+		if k.reconfigures() {
+			perWorkload += int64(len(gd.LatenciesMS))
+		} else {
+			perWorkload++
+		}
+		if perWorkload > math.MaxInt32 {
+			// Clamp before multiplying below, so the product of two
+			// clamped factors stays within int64.
+			perWorkload = math.MaxInt32
+			break
+		}
+	}
+	count := int64(1)
+	for _, n := range []int64{
+		int64(len(gd.Models)), int64(len(gd.GPUs)), int64(len(gd.Parallelisms)),
+		int64(len(gd.Schedules)), int64(len(gd.JitterFracs)), int64(len(gd.EagerRS)),
+		perWorkload,
+	} {
+		count *= n
+		if count > math.MaxInt32 {
+			return math.MaxInt32
+		}
+	}
+	return int(count)
+}
+
 // Expand materializes the grid's cells in deterministic nested-loop
 // order (model, GPU, parallelism, schedule, jitter, eagerRS, fabric,
 // latency — fabric innermost so adjacent rows compare fabrics for one
@@ -425,30 +466,38 @@ func (r *Result) Rows() []Row {
 // Table renders the grid results as a report table (whose Render, CSV,
 // and MarshalJSON methods provide the three output formats).
 func (r *Result) Table() *report.Table {
+	return TableFromRows(r.Grid.Name, r.Rows())
+}
+
+// TableFromRows renders flat rows as the aligned grid table — the form
+// remote consumers (railclient) use, since rows are wire-encodable
+// while cells are not. A Result's Table() is exactly
+// TableFromRows(grid name, rows).
+func TableFromRows(name string, rows []Row) *report.Table {
 	title := "Scenario grid"
-	if r.Grid.Name != "" {
-		title = fmt.Sprintf("Scenario grid %q", r.Grid.Name)
+	if name != "" {
+		title = fmt.Sprintf("Scenario grid %q", name)
 	}
 	t := report.NewTable(title,
 		"Model", "GPU", "Parallelism", "Sched", "Fabric", "Lat(ms)",
 		"Status", "MeanIter(s)", "Slowdown", "Reconf", "Fast", "Queued", "Blocked(s)")
-	for _, cr := range r.Cells {
-		c := cr.Cell
+	for _, row := range rows {
+		par := Parallelism{TP: row.TP, DP: row.DP, PP: row.PP, CP: row.CP, EP: row.EP}
 		lat := "-"
-		if c.Fabric.reconfigures() {
-			lat = fmt.Sprintf("%g", c.LatencyMS)
+		if kind, ok := FabricKindByName(row.Fabric); ok && kind.reconfigures() {
+			lat = fmt.Sprintf("%g", row.LatencyMS)
 		}
-		if cr.Skipped {
-			t.AddRow(c.Model.Name, c.GPU.Name, c.Par.String(), c.Schedule.String(), c.Fabric.String(), lat,
-				"skip: "+cr.SkipReason, "-", "-", "-", "-", "-", "-")
+		if row.Status == "skip" {
+			t.AddRow(row.Model, row.GPU, par.String(), row.Schedule, row.Fabric, lat,
+				"skip: "+row.SkipReason, "-", "-", "-", "-", "-", "-")
 			continue
 		}
-		t.AddRow(c.Model.Name, c.GPU.Name, c.Par.String(), c.Schedule.String(), c.Fabric.String(), lat,
+		t.AddRow(row.Model, row.GPU, par.String(), row.Schedule, row.Fabric, lat,
 			"ok",
-			fmt.Sprintf("%.4f", cr.MeanIterationSeconds),
-			fmt.Sprintf("%.4f", cr.Slowdown),
-			cr.Reconfigurations, cr.FastGrants, cr.QueuedGrants,
-			fmt.Sprintf("%.4f", cr.BlockedSeconds))
+			fmt.Sprintf("%.4f", row.MeanIterationSeconds),
+			fmt.Sprintf("%.4f", row.Slowdown),
+			row.Reconfigurations, row.FastGrants, row.QueuedGrants,
+			fmt.Sprintf("%.4f", row.BlockedSeconds))
 	}
 	return t
 }
@@ -457,12 +506,17 @@ func (r *Result) Table() *report.Table {
 // (no display dashes), the shape scripted consumers want from -format
 // csv.
 func (r *Result) CSVTable() *report.Table {
+	return CSVTableFromRows(r.Rows())
+}
+
+// CSVTableFromRows is CSVTable over wire-encodable flat rows.
+func CSVTableFromRows(rows []Row) *report.Table {
 	t := report.NewTable("",
 		"cell", "model", "gpu", "fabric", "latency_ms",
 		"tp", "dp", "pp", "cp", "ep", "schedule", "jitter", "eager_rs",
 		"status", "skip_reason",
 		"mean_iteration_s", "slowdown", "reconfigurations", "fast_grants", "queued_grants", "blocked_s")
-	for _, row := range r.Rows() {
+	for _, row := range rows {
 		t.AddRow(row.Cell, row.Model, row.GPU, row.Fabric, row.LatencyMS,
 			row.TP, row.DP, row.PP, row.CP, row.EP, row.Schedule, row.JitterFrac, row.EagerRS,
 			row.Status, row.SkipReason,
