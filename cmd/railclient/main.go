@@ -1,28 +1,41 @@
-// Command railclient runs scenario-grid sweeps against a raild daemon.
-// It accepts the same dimension flags and produces byte-identical
+// Command railclient runs experiments against a raild daemon. Grid
+// sweeps accept the same dimension flags and produce byte-identical
 // output to cmd/railgrid — the difference is where the cells simulate:
 // railgrid runs them in-process and forgets its cache on exit, while
 // railclient shares a daemon whose cache stays warm across invocations
 // and whose request-level deduplication coalesces identical concurrent
-// sweeps from any number of clients.
+// requests from any number of clients.
+//
+// With -exp, railclient runs any experiment in the photonrail registry
+// remotely (fig8, fig4, table1-3, window-analysis, bom, grids, …); the
+// daemon renders the result server-side, so the bytes match the local
+// CLI twin exactly. -timeout bounds the wait client- and server-side
+// (the daemon honors it as a per-request deadline), and a cancelled
+// wait sends a protocol cancel frame so the daemon stops only this
+// request's wait.
 //
 // Usage:
 //
 //	railclient -addr 127.0.0.1:9090 -grid fig8-5d
 //	railclient -fabrics electrical,photonic -latencies 1,10 -format csv
-//	railclient -daemon-stats            # print serving telemetry only
+//	railclient -exp fig8 -timeout 60s       # any registry experiment
+//	railclient -daemon-stats                # print serving telemetry only
 //
 // Parallelism coordinates are TP:DP:PP[:CP[:EP]], as in railgrid.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"photonrail"
 	"photonrail/internal/gridcli"
+	"photonrail/internal/opusnet"
 	"photonrail/internal/railserve"
 )
 
@@ -44,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		progress  = fs.Bool("progress", false, "print per-cell progress to stderr as the daemon streams it")
 		stats     = fs.Bool("stats", false, "print daemon serving stats to stderr after the run")
 		statsOnly = fs.Bool("daemon-stats", false, "print daemon serving stats and exit (no sweep)")
+		expName   = fs.String("exp", "", "run this registry experiment remotely instead of a grid sweep")
+		timeout   = fs.Duration("timeout", 0, "deadline for the request, enforced client- and server-side (0 = none)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: railclient [flags]\nparallelism coordinates are TP:DP:PP[:CP[:EP]]\n")
@@ -60,7 +75,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *list {
 		gridcli.PrintCatalog(stdout)
-		return nil
+		fmt.Fprintf(stdout, "experiments (-exp):\n")
+		return photonrail.DescribeExperiments(stdout)
 	}
 	if err := gridcli.CheckFormat(*format); err != nil {
 		return err
@@ -71,8 +87,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		_, err = fmt.Fprintf(w, "daemon: cache %d hits / %d misses / %d evictions, %d in flight; grids %d executed / %d deduped\n",
-			st.Hits, st.Misses, st.Evictions, st.InFlight, st.GridsExecuted, st.GridsDeduped)
+		_, err = fmt.Fprintf(w, "daemon: cache %d hits / %d misses / %d evictions, %d in flight; grids %d executed / %d deduped; exps %d executed / %d deduped\n",
+			st.Hits, st.Misses, st.Evictions, st.InFlight,
+			st.GridsExecuted, st.GridsDeduped, st.ExpsExecuted, st.ExpsDeduped)
 		return err
 	}
 
@@ -85,6 +102,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return printStats(c, stdout)
 	}
 
+	ctx, cancel := gridcli.WithTimeout(*timeout)
+	defer cancel()
+
+	var onProgress func(done, total int)
+	if *progress {
+		onProgress = func(done, total int) { fmt.Fprintf(stderr, "railclient: %d/%d cells\n", done, total) }
+	}
+
+	if *expName != "" {
+		return runExperiment(ctx, *expName, dims, *addr, *format, *timeout, onProgress, printStats, *stats, stdout, stderr)
+	}
+
 	spec, _, err := dims.Spec()
 	if err != nil {
 		return err
@@ -95,11 +124,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer c.Close()
 
-	var onProgress func(done, total int)
-	if *progress {
-		onProgress = func(done, total int) { fmt.Fprintf(stderr, "railclient: %d/%d cells\n", done, total) }
-	}
-	run, err := c.RunGrid(spec, onProgress)
+	run, err := c.RunGridCtx(ctx, spec, onProgress)
 	if err != nil {
 		return err
 	}
@@ -113,6 +138,65 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := printStats(c, stderr); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runExperiment serves -exp: any registry experiment over the exp_req
+// path, with the request deadline forwarded to the daemon and the
+// server-rendered bytes printed verbatim (identical to the local CLI).
+func runExperiment(ctx context.Context, name string, dims *gridcli.Dimensions, addr, format string,
+	timeout time.Duration, onProgress func(done, total int),
+	printStats func(*railserve.Client, io.Writer) error, stats bool, stdout, stderr io.Writer) error {
+	req := opusnet.ExpRequestPayload{Name: name, TimeoutMS: timeout.Milliseconds()}
+	if photonrail.IsGridExperiment(name) {
+		// Grid experiments reuse railgrid's dimension flags; a built-in
+		// grid name seeds the axes the flags overlay, so
+		// `-exp fig8-5d -latencies 99` behaves like
+		// `-grid fig8-5d -latencies 99`.
+		if name != "grid" {
+			dims.DefaultGridName(name)
+		}
+		spec, _, err := dims.Spec()
+		if err != nil {
+			return err
+		}
+		req.Grid = &spec
+	} else {
+		// Non-grid experiments honor the sweep-shaped flags, so a remote
+		// run matches its local railsweep twin.
+		p, err := dims.SweepParams()
+		if err != nil {
+			return err
+		}
+		req.Iterations = p.Iterations
+		req.LatenciesMS = p.LatenciesMS
+	}
+	c, err := railserve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	run, err := c.RunExperiment(ctx, req, onProgress)
+	if err != nil {
+		return err
+	}
+	if run.Shared {
+		fmt.Fprintf(stderr, "railclient: joined an identical in-flight request\n")
+	}
+	switch format {
+	case "table":
+		_, err = io.WriteString(stdout, run.Rendered)
+	case "csv":
+		_, err = io.WriteString(stdout, run.RenderedCSV)
+	case "json":
+		_, err = io.WriteString(stdout, run.RowsJSON)
+	}
+	if err != nil {
+		return err
+	}
+	if stats {
+		return printStats(c, stderr)
 	}
 	return nil
 }

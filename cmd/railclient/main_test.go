@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
+	"photonrail"
 	"photonrail/internal/railserve"
 )
 
@@ -54,6 +56,29 @@ func TestRemoteStats(t *testing.T) {
 	}
 	if !strings.Contains(so.String(), "daemon: cache") {
 		t.Errorf("daemon-stats = %q", so.String())
+	}
+}
+
+func TestRemoteExperimentMatchesLocal(t *testing.T) {
+	addr := startDaemon(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", addr, "-exp", "table3", "-timeout", "1m"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := photonrail.Lookup("table3")
+	if !ok {
+		t.Fatal("table3 not registered")
+	}
+	res, err := e.Run(context.Background(), photonrail.NewEngine(1), photonrail.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.RenderText(&want); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want.String() {
+		t.Errorf("remote table3 diverged from local:\n got: %q\nwant: %q", out.String(), want.String())
 	}
 }
 

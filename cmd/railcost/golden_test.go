@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"photonrail/internal/goldentest"
+)
+
+// TestGoldenOutputs pins railcost's canonical invocations byte for
+// byte: the default Table 3 + Fig. 7 pair in text and CSV, and the
+// per-design bills of materials at a small cluster size. Regenerate
+// intentionally with `go test ./cmd/railcost -run Golden -update`.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"default.table", nil},
+		{"default.csv", []string{"-csv"}},
+		{"bom.table", []string{"-bom", "-gpus", "1024"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if err := run(tc.args, &out, &errb); err != nil {
+				t.Fatal(err)
+			}
+			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", tc.name))
+		})
+	}
+}

@@ -1,12 +1,16 @@
 // Command railcost reproduces the paper's fabric economics: the Fig. 7
-// cost/power comparison across cluster sizes and the Table 3 OCS
-// scalability–latency tradeoff.
+// cost/power comparison across cluster sizes, the Table 3 OCS
+// scalability–latency tradeoff, and the per-design bills of materials —
+// each served by its photonrail registry experiment (fig7, table3,
+// bom), so railcost is flag parsing plus Lookup(name).Run plus
+// rendering.
 //
 // Usage:
 //
 //	railcost -fig7
 //	railcost -table3
 //	railcost -bom -gpus 8192     # per-design bills of materials
+//	railcost -fig7 -timeout 10s
 package main
 
 import (
@@ -17,9 +21,7 @@ import (
 	"os"
 
 	"photonrail"
-	"photonrail/internal/cost"
-	"photonrail/internal/report"
-	"photonrail/internal/topo"
+	"photonrail/internal/gridcli"
 )
 
 func main() {
@@ -33,11 +35,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("railcost", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig7   = fs.Bool("fig7", false, "print the Fig. 7 comparison")
-		table3 = fs.Bool("table3", false, "print Table 3")
-		bom    = fs.Bool("bom", false, "print per-design bills of materials")
-		gpus   = fs.Int("gpus", 8192, "cluster size for -bom")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		fig7    = fs.Bool("fig7", false, "print the Fig. 7 comparison")
+		table3  = fs.Bool("table3", false, "print Table 3")
+		bom     = fs.Bool("bom", false, "print per-design bills of materials")
+		gpus    = fs.Int("gpus", 8192, "cluster size for -bom")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		timeout = fs.Duration("timeout", 0, "overall deadline for the invocation (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -51,64 +54,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !*fig7 && !*table3 && !*bom {
 		*fig7, *table3 = true, true
 	}
-	render := func(t *report.Table) error {
-		var err error
-		if *csv {
-			err = t.CSV(stdout)
-		} else {
-			err = t.Render(stdout)
-		}
-		if err != nil {
-			return err
-		}
-		_, err = fmt.Fprintln(stdout)
-		return err
+	if *bom && *gpus <= 0 {
+		return fmt.Errorf("-gpus must be positive, got %d", *gpus)
 	}
+
+	var selected []string
 	if *table3 {
-		if err := render(photonrail.Table3()); err != nil {
-			return err
-		}
+		selected = append(selected, "table3")
 	}
 	if *fig7 {
-		t, err := photonrail.Fig7Table()
-		if err != nil {
-			return err
-		}
-		if err := render(t); err != nil {
-			return err
-		}
+		selected = append(selected, "fig7")
 	}
 	if *bom {
-		if *gpus <= 0 {
-			return fmt.Errorf("-gpus must be positive, got %d", *gpus)
-		}
-		cat := cost.DefaultCatalog()
-		ft, err := cost.FatTree(*gpus, cat)
-		if err != nil {
-			return err
-		}
-		rail, err := cost.RailOptimized(*gpus, topo.DGXH200GPUsPerNode, cat)
-		if err != nil {
-			return err
-		}
-		op, err := cost.Opus(*gpus, topo.DGXH200GPUsPerNode, cat)
-		if err != nil {
-			return err
-		}
-		for _, b := range []cost.BOM{ft, rail, op} {
-			t := report.NewTable(fmt.Sprintf("%s bill of materials (%d GPUs)", b.Design, b.GPUs),
-				"Component", "Count", "Unit price", "Unit power")
-			for _, it := range b.Items {
-				t.AddRow(it.Device.Name, it.Count, it.Device.Price, it.Device.Power)
-			}
-			t.AddRow("TOTAL", "", b.TotalCost(), b.TotalPower())
-			if err := render(t); err != nil {
-				return err
-			}
-		}
-		costFrac, powerFrac := cost.Savings(rail, op)
-		fmt.Fprintf(stdout, "Opus vs rail-optimized at %d GPUs: cost -%.1f%%, power -%.2f%% (paper: up to -70.5%% / -95.84%%)\n",
-			*gpus, 100*costFrac, 100*powerFrac)
+		selected = append(selected, "bom")
 	}
-	return nil
+
+	ctx, cancel := gridcli.WithTimeout(*timeout)
+	defer cancel()
+	return gridcli.RunExperiments(ctx, photonrail.NewEngine(0), selected,
+		photonrail.Params{GPUs: *gpus}, *csv, stdout)
 }

@@ -1,9 +1,11 @@
-// Command raild is the long-running sweep-serving daemon: it listens
-// for scenario-grid requests on the opusnet framed protocol, shards
-// each grid's cells across a shared worker pool, keeps the simulation
-// cache warm across requests (bounded, so the daemon is safe to run
-// indefinitely), deduplicates identical in-flight requests across
-// concurrent clients, and streams per-cell progress back.
+// Command raild is the long-running experiment-serving daemon: it
+// listens for scenario-grid and registry-experiment requests on the
+// opusnet framed protocol, shards each request's jobs across a shared
+// worker pool, keeps the simulation cache warm across requests
+// (bounded, so the daemon is safe to run indefinitely), deduplicates
+// identical in-flight requests across concurrent clients, streams
+// progress back, and honors per-request deadlines and client cancel
+// frames (stopping only the requesting client's wait).
 //
 // Usage:
 //
@@ -12,7 +14,7 @@
 //	raild -cache 4096                # cache at most 4096 simulation units
 //
 // Drive it with cmd/railclient, which accepts railgrid's dimension
-// flags.
+// flags for grid sweeps and -exp for any registered experiment.
 package main
 
 import (

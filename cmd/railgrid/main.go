@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format   = fs.String("format", "table", "output format: table, csv, or json")
 		stats    = fs.Bool("stats", false, "print engine cache stats to stderr")
 		progress = fs.Bool("progress", false, "print per-cell progress to stderr")
+		timeout  = fs.Duration("timeout", 0, "overall deadline for the sweep (0 = none)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: railgrid [flags]\nparallelism coordinates are TP:DP:PP[:CP[:EP]]\n")
@@ -68,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := gridcli.CheckFormat(*format); err != nil {
 		return err
 	}
-	_, g, err := dims.Spec()
+	spec, _, err := dims.Spec()
 	if err != nil {
 		return err
 	}
@@ -77,12 +78,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *progress {
 		onCell = func(done, total int) { fmt.Fprintf(stderr, "railgrid: %d/%d cells\n", done, total) }
 	}
+	ctx, cancel := gridcli.WithTimeout(*timeout)
+	defer cancel()
 	en := photonrail.NewEngine(*parallel)
-	res, err := en.RunGridProgress(g, onCell)
+	// The validated spec feeds the registry's generic grid experiment:
+	// railgrid is flag parsing + Lookup("grid").Run + rendering.
+	e, _ := photonrail.Lookup("grid")
+	res, err := e.Run(ctx, en, photonrail.Params{Grid: &spec, OnProgress: onCell})
 	if err != nil {
 		return err
 	}
-	if err := gridcli.RenderRows(stdout, *format, g.Name, res.Rows()); err != nil {
+	if err := renderResult(stdout, *format, res); err != nil {
 		return err
 	}
 	if *stats {
@@ -91,4 +97,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			en.Workers(), st.Hits, st.Misses, st.Evictions)
 	}
 	return nil
+}
+
+// renderResult writes the experiment result in the chosen format; the
+// bytes are identical to gridcli.RenderRows over the same rows.
+func renderResult(w io.Writer, format string, res *photonrail.ExperimentResult) error {
+	switch format {
+	case "table":
+		return res.RenderText(w)
+	case "csv":
+		return res.RenderCSV(w)
+	case "json":
+		return res.RenderJSON(w)
+	}
+	return gridcli.CheckFormat(format)
 }

@@ -22,6 +22,8 @@ func TestGoldenOutputs(t *testing.T) {
 		{"fig7.json", []string{"-json", "fig7"}},
 		{"fig8.table", []string{"-latencies", "0,10", "-iters", "1", "fig8"}},
 		{"fig8.json", []string{"-json", "-latencies", "0,10", "-iters", "1", "fig8"}},
+		{"fig4.table", []string{"-window-iters", "2", "fig4"}},
+		{"fig4.json", []string{"-json", "-window-iters", "2", "fig4"}},
 	}
 	for _, tc := range cases {
 		tc := tc

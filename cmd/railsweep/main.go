@@ -1,20 +1,21 @@
-// Command railsweep runs any of the paper's figure/table experiment
-// batches on the concurrent experiment engine, with a configurable
-// worker count and optional JSON output for scripted large-scale
-// sweeps.
+// Command railsweep runs experiments from the photonrail registry on
+// the concurrent experiment engine, with a configurable worker count,
+// an overall -timeout, and optional JSON output for scripted
+// large-scale sweeps.
 //
 // Usage:
 //
 //	railsweep [flags] [experiment ...]
 //
-// Experiments: fig4, fig7, fig8, table1, table2, table3, all
-// (default fig8). One engine serves the whole invocation, so
-// experiments sharing simulations (e.g. the electrical baseline)
-// run them once.
+// Experiments: any registered name (see -list), plus "all" for the
+// historical batch (table1 table2 table3 fig7 fig4 fig8; default
+// fig8). One engine serves the whole invocation, so experiments
+// sharing simulations (e.g. the electrical baseline) run them once.
 //
 //	railsweep -parallel 8 fig8
 //	railsweep -json -latencies 0,10,100,1000 fig8
 //	railsweep -parallel 4 -stats all
+//	railsweep -timeout 30s fig8-5d
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 	"strings"
 
 	"photonrail"
-	"photonrail/internal/cost"
+	"photonrail/internal/gridcli"
 	"photonrail/internal/report"
 )
 
@@ -51,9 +52,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		iters     = fs.Int("iters", 2, "training iterations for fig8 simulations")
 		winIters  = fs.Int("window-iters", 10, "training iterations for the fig4 window analysis")
 		latencies = fs.String("latencies", "", "comma-separated fig8 latencies in ms (default: the paper's)")
+		timeout   = fs.Duration("timeout", 0, "overall deadline for the invocation (0 = none)")
+		list      = fs.Bool("list", false, "list the experiment registry, then exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: railsweep [flags] [experiment ...]\nexperiments: %s, all\n",
+		fmt.Fprintf(stderr, "usage: railsweep [flags] [experiment ...]\nexperiments: any registered name (-list), or: %s, all\n",
 			strings.Join(experimentNames, ", "))
 		fs.PrintDefaults()
 	}
@@ -62,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return nil // usage already printed; -h is not a failure
 		}
 		return err
+	}
+	if *list {
+		return photonrail.DescribeExperiments(stdout)
 	}
 	lats, err := parseLatencies(*latencies)
 	if err != nil {
@@ -77,16 +83,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 			selected = append(selected, experimentNames...)
 			continue
 		}
-		if !validExperiment(name) {
-			return fmt.Errorf("unknown experiment %q (want %s, all)", name, strings.Join(experimentNames, ", "))
+		if _, ok := photonrail.Lookup(name); !ok {
+			return fmt.Errorf("unknown experiment %q (want %s, all)", name,
+				strings.Join(photonrail.ExperimentNames(), ", "))
 		}
 		selected = append(selected, name)
 	}
 
+	ctx, cancel := gridcli.WithTimeout(*timeout)
+	defer cancel()
 	en := photonrail.NewEngine(*parallel)
-	out := make(map[string]any, len(selected))
+	params := photonrail.Params{
+		Iterations:       *iters,
+		WindowIterations: *winIters,
+		LatenciesMS:      lats,
+	}
+	out := make(map[string]*photonrail.ExperimentResult, len(selected))
 	for _, name := range selected {
-		res, err := runExperiment(en, name, *iters, *winIters, lats)
+		e, _ := photonrail.Lookup(name)
+		res, err := e.Run(ctx, en, params)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -95,15 +110,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *jsonOut {
 		if len(selected) == 1 {
-			if err := report.JSON(stdout, out[selected[0]]); err != nil {
+			if err := out[selected[0]].RenderJSON(stdout); err != nil {
 				return err
 			}
-		} else if err := report.JSON(stdout, out); err != nil {
-			return err
+		} else {
+			rows := make(map[string]any, len(out))
+			for name, res := range out {
+				rows[name] = res.Rows
+			}
+			if err := report.JSON(stdout, rows); err != nil {
+				return err
+			}
 		}
 	} else {
 		for _, name := range selected {
-			if err := renderText(stdout, out[name]); err != nil {
+			if err := out[name].RenderText(stdout); err != nil {
 				return err
 			}
 		}
@@ -116,18 +137,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func validExperiment(name string) bool {
-	for _, n := range experimentNames {
-		if n == name {
-			return true
-		}
-	}
-	return false
-}
-
 func parseLatencies(s string) ([]float64, error) {
 	if s == "" {
-		return nil, nil // SweepReconfigLatency defaults to the paper's
+		return nil, nil // the fig8 experiment defaults to the paper's
 	}
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
@@ -141,115 +153,4 @@ func parseLatencies(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-// fig4JSON summarizes the window analysis for scripted consumers.
-type fig4JSON struct {
-	FractionOver1ms float64        `json:"fractionOver1ms"`
-	PerRail         []fig4RailJSON `json:"perRail"`
-	Breakdown       []fig4Class    `json:"breakdown"`
-}
-
-type fig4RailJSON struct {
-	Rail  int     `json:"rail"`
-	N     int     `json:"n"`
-	P50MS float64 `json:"p50ms"`
-	P90MS float64 `json:"p90ms"`
-	MaxMS float64 `json:"maxms"`
-}
-
-type fig4Class struct {
-	Class         string  `json:"class"`
-	Count         int     `json:"count"`
-	MeanWindowMS  float64 `json:"meanWindowMS"`
-	MeanBytesNext float64 `json:"meanBytesAfter"`
-}
-
-// fig8JSON pairs the sweep points with the workload scale they were
-// simulated at.
-type fig8JSON struct {
-	Iterations int                     `json:"iterations"`
-	Points     []photonrail.SweepPoint `json:"points"`
-}
-
-func runExperiment(en *photonrail.Engine, name string, iters, winIters int, lats []float64) (any, error) {
-	switch name {
-	case "table1":
-		return photonrail.Table1(), nil
-	case "table2":
-		return photonrail.Table2(), nil
-	case "table3":
-		return photonrail.Table3(), nil
-	case "fig7":
-		rows, err := en.CostComparison()
-		if err != nil {
-			return nil, err
-		}
-		return rows, nil
-	case "fig4":
-		rep, err := en.AnalyzeWindows(photonrail.PaperWorkload(winIters))
-		if err != nil {
-			return nil, err
-		}
-		out := fig4JSON{FractionOver1ms: rep.FractionOver1ms}
-		for rail := 0; ; rail++ {
-			c, ok := rep.PerRailCDF[rail]
-			if !ok {
-				break
-			}
-			out.PerRail = append(out.PerRail, fig4RailJSON{
-				Rail: rail, N: c.N(),
-				P50MS: c.Quantile(0.50), P90MS: c.Quantile(0.90), MaxMS: c.Quantile(1),
-			})
-		}
-		for _, b := range rep.Breakdown.Buckets() {
-			out.Breakdown = append(out.Breakdown, fig4Class{
-				Class: b.Label, Count: b.Count, MeanWindowMS: b.Mean(),
-				MeanBytesNext: rep.BreakdownBytes[b.Label],
-			})
-		}
-		return out, nil
-	case "fig8":
-		points, err := en.SweepReconfigLatency(photonrail.PaperWorkload(iters), lats)
-		if err != nil {
-			return nil, err
-		}
-		return fig8JSON{Iterations: iters, Points: points}, nil
-	}
-	return nil, fmt.Errorf("unknown experiment %q", name)
-}
-
-func renderText(w io.Writer, res any) error {
-	var t *report.Table
-	switch v := res.(type) {
-	case *report.Table:
-		t = v
-	case fig8JSON:
-		t = photonrail.Fig8Table(v.Points)
-	case fig4JSON:
-		t = report.NewTable("Fig. 4: window-size summary per rail (ms)",
-			"Rail", "N", "p50", "p90", "max")
-		for _, r := range v.PerRail {
-			t.AddRow(fmt.Sprintf("rail%d", r.Rail+1), r.N,
-				fmt.Sprintf("%.3g", r.P50MS), fmt.Sprintf("%.3g", r.P90MS), fmt.Sprintf("%.3g", r.MaxMS))
-		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "windows over 1ms: %.0f%%\n", 100*v.FractionOver1ms)
-		t = report.NewTable("Fig. 4b: rail-0 windows by following traffic",
-			"Traffic class", "Count", "Avg window (ms)", "Avg bytes after")
-		for _, c := range v.Breakdown {
-			t.AddRow(c.Class, c.Count, fmt.Sprintf("%.3g", c.MeanWindowMS), fmt.Sprintf("%.3g", c.MeanBytesNext))
-		}
-	case []cost.Fig7Row:
-		t = photonrail.Fig7RowsTable(v)
-	default:
-		return fmt.Errorf("railsweep: no text renderer for %T", res)
-	}
-	if err := t.Render(w); err != nil {
-		return err
-	}
-	_, err := fmt.Fprintln(w)
-	return err
 }

@@ -1,6 +1,9 @@
 // Command railwindows reproduces the paper's §3.1 trace analysis: the
 // Fig. 3 per-rail communication timeline, the Fig. 4 window-size CDF and
-// traffic breakdown, the Eq. 1 window-count formula, and Tables 1–2.
+// traffic breakdown, the Eq. 1 window-count formula, and Tables 1–2 —
+// each served by its photonrail registry experiment (fig3,
+// window-analysis, eq1, table1, table2), so railwindows is flag parsing
+// plus Lookup(name).Run plus rendering.
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	railwindows -fig4          # window CDF + breakdown (10 iterations)
 //	railwindows -eq1           # window-count formula examples
 //	railwindows -table1 -table2
+//	railwindows -fig4 -timeout 30s
 package main
 
 import (
@@ -18,8 +22,7 @@ import (
 	"os"
 
 	"photonrail"
-	"photonrail/internal/parallelism"
-	"photonrail/internal/report"
+	"photonrail/internal/gridcli"
 )
 
 func main() {
@@ -33,14 +36,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("railwindows", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig3   = fs.Bool("fig3", false, "print the Fig. 3 rail timeline")
-		fig4   = fs.Bool("fig4", false, "print the Fig. 4 window analysis")
-		eq1    = fs.Bool("eq1", false, "print Eq. 1 window counts")
-		table1 = fs.Bool("table1", false, "print Table 1")
-		table2 = fs.Bool("table2", false, "print Table 2")
-		iters  = fs.Int("iterations", 10, "iterations for the Fig. 4 CDF")
-		rail   = fs.Int("rail", 0, "rail to analyze")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		fig3    = fs.Bool("fig3", false, "print the Fig. 3 rail timeline")
+		fig4    = fs.Bool("fig4", false, "print the Fig. 4 window analysis")
+		eq1     = fs.Bool("eq1", false, "print Eq. 1 window counts")
+		table1  = fs.Bool("table1", false, "print Table 1")
+		table2  = fs.Bool("table2", false, "print Table 2")
+		iters   = fs.Int("iterations", 10, "iterations for the Fig. 4 CDF")
+		rail    = fs.Int("rail", 0, "rail to analyze")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		timeout = fs.Duration("timeout", 0, "overall deadline for the invocation (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -57,82 +61,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !*fig3 && !*fig4 && !*eq1 && !*table1 && !*table2 {
 		*fig3, *fig4, *eq1, *table1, *table2 = true, true, true, true, true
 	}
-	render := func(t *report.Table) error {
-		var err error
-		if *csv {
-			err = t.CSV(stdout)
-		} else {
-			err = t.Render(stdout)
-		}
-		if err != nil {
-			return err
-		}
-		_, err = fmt.Fprintln(stdout)
-		return err
-	}
 
+	// The selected flags map onto registry experiments in the historical
+	// print order; one engine serves them all, so fig3 and fig4 share
+	// one traced simulation through its cache.
+	var selected []string
 	if *table1 {
-		if err := render(photonrail.Table1()); err != nil {
-			return err
-		}
+		selected = append(selected, "table1")
 	}
 	if *table2 {
-		if err := render(photonrail.Table2()); err != nil {
-			return err
-		}
+		selected = append(selected, "table2")
 	}
 	if *eq1 {
-		t := report.NewTable("Eq. 1: windows per iteration",
-			"Workload", "PP", "Layers", "Microbatches", "CP", "EP", "Windows")
-		add := func(label string, pp, layers, mb int, cp, ep bool) error {
-			n, err := photonrail.WindowCount(pp, layers, mb, cp, ep)
-			if err != nil {
-				return err
-			}
-			t.AddRow(label, pp, layers, mb, cp, ep, n)
-			return nil
-		}
-		if err := add("Llama3-8B (paper §3.1)", 2, 32, 12, false, false); err != nil {
-			return err
-		}
-		if err := add("Llama3.1-405B (1k H100)", 16, 126, 16, true, false); err != nil {
-			return err
-		}
-		if err := add("5D (CP+EP)", 4, 32, 8, true, true); err != nil {
-			return err
-		}
-		if err := render(t); err != nil {
-			return err
-		}
-		n, _ := photonrail.WindowCount(16, 126, 16, true, false)
-		fmt.Fprintf(stdout, "Llama3.1-405B: %.1f windows/second at 20s iterations (paper: ~6/s)\n\n",
-			parallelism.WindowsPerSecond(n, 20))
+		selected = append(selected, "eq1")
 	}
-	if *fig3 || *fig4 {
-		w := photonrail.PaperWorkload(*iters)
-		rep, err := photonrail.AnalyzeWindows(w)
-		if err != nil {
-			return err
-		}
-		if *fig3 {
-			iter := 1
-			if *iters < 2 {
-				iter = 0
-			}
-			if err := render(photonrail.TimelineTable(rep.Trace, *rail, iter)); err != nil {
-				return err
-			}
-		}
-		if *fig4 {
-			cdf, breakdown := photonrail.Fig4Tables(rep)
-			if err := render(cdf); err != nil {
-				return err
-			}
-			if err := render(breakdown); err != nil {
-				return err
-			}
-			fmt.Fprintf(stdout, "windows over 1ms: %.0f%% (paper: >75%%)\n", 100*rep.FractionOver1ms)
-		}
+	if *fig3 {
+		selected = append(selected, "fig3")
 	}
-	return nil
+	if *fig4 {
+		selected = append(selected, "window-analysis")
+	}
+
+	ctx, cancel := gridcli.WithTimeout(*timeout)
+	defer cancel()
+	return gridcli.RunExperiments(ctx, photonrail.NewEngine(0), selected,
+		photonrail.Params{WindowIterations: *iters, Rail: *rail}, *csv, stdout)
 }

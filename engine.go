@@ -1,6 +1,8 @@
 package photonrail
 
 import (
+	"context"
+
 	"photonrail/internal/exp"
 	"photonrail/internal/netsim"
 )
@@ -94,23 +96,37 @@ func (en *Engine) ResetCache() { en.pool.ResetCache() }
 // result of each distinct (Workload, Fabric) pair is computed once per
 // engine and shared. Treat the returned Result as read-only.
 func (en *Engine) Simulate(w Workload, f Fabric) (*Result, error) {
-	return exp.CachedCost(en.pool, exp.Key("simulate", w, f), costSim, func() (*Result, error) {
+	return en.SimulateCtx(context.Background(), w, f)
+}
+
+// SimulateCtx is Simulate under a context, with the engine cache's
+// detached-singleflight semantics: a cancelled caller returns ctx.Err()
+// promptly, but a simulation other callers have joined keeps running
+// for them, and its result still lands in the cache. The simulation
+// itself becomes cancellable only once its last waiter departs.
+func (en *Engine) SimulateCtx(ctx context.Context, w Workload, f Fabric) (*Result, error) {
+	return exp.CachedCostCtx(ctx, en.pool, exp.Key("simulate", w, f), costSim, func(context.Context) (*Result, error) {
 		return Simulate(w, f)
 	})
 }
 
-// provisionedStable is the memoized simulateProvisionedStable.
-func (en *Engine) provisionedStable(w Workload, latencyMS float64) (*Result, error) {
-	return exp.CachedCost(en.pool, exp.Key("provisioned-stable", w, latencyMS), costSim, func() (*Result, error) {
+// provisionedStableCtx is the memoized simulateProvisionedStable.
+func (en *Engine) provisionedStableCtx(ctx context.Context, w Workload, latencyMS float64) (*Result, error) {
+	return exp.CachedCostCtx(ctx, en.pool, exp.Key("provisioned-stable", w, latencyMS), costSim, func(context.Context) (*Result, error) {
 		return simulateProvisionedStable(w, latencyMS)
 	})
 }
 
-// simulateTraced is the memoized trace-recording electrical-baseline
+// provisionedStable is provisionedStableCtx without cancellation.
+func (en *Engine) provisionedStable(w Workload, latencyMS float64) (*Result, error) {
+	return en.provisionedStableCtx(context.Background(), w, latencyMS)
+}
+
+// simulateTracedCtx is the memoized trace-recording electrical-baseline
 // run that the window analysis consumes. Traced results carry the full
 // per-op trace, so they weigh costTraced units in a bounded cache.
-func (en *Engine) simulateTraced(w Workload) (*netsim.Result, error) {
-	return exp.CachedCost(en.pool, exp.Key("simulate-traced", w), costTraced, func() (*netsim.Result, error) {
+func (en *Engine) simulateTracedCtx(ctx context.Context, w Workload) (*netsim.Result, error) {
+	return exp.CachedCostCtx(ctx, en.pool, exp.Key("simulate-traced", w), costTraced, func(context.Context) (*netsim.Result, error) {
 		_, inner, err := simulate(w, Fabric{Kind: ElectricalRail}, true)
 		return inner, err
 	})

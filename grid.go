@@ -1,6 +1,7 @@
 package photonrail
 
 import (
+	"context"
 	"fmt"
 
 	"photonrail/internal/exp"
@@ -28,6 +29,16 @@ type GridResult = scenario.Result
 
 // GridParallelism is one {TP,DP,PP,CP,EP} coordinate.
 type GridParallelism = scenario.Parallelism
+
+// GridSpec is the wire-encodable, name-based form of a Grid: models,
+// GPUs, fabrics, and schedules are carried by preset name, so a spec
+// marshals to compact JSON and travels the opusnet protocol (it is the
+// payload of both grid_req and a grid experiment's exp_req). Resolve
+// materializes it into a Grid; SpecOfGrid is the inverse.
+type GridSpec = scenario.Spec
+
+// SpecOfGrid renders a Grid as its wire form.
+func SpecOfGrid(g Grid) GridSpec { return scenario.SpecOf(g) }
 
 // GridFabricKind enumerates the fabric realizations a grid sweeps.
 type GridFabricKind = scenario.FabricKind
@@ -67,12 +78,26 @@ func (en *Engine) RunGrid(g Grid) (*GridResult, error) {
 // after each cell finishes (in completion order) with the running count
 // and the total. It must not block; a nil hook makes this RunGrid.
 func (en *Engine) RunGridProgress(g Grid, onCell func(done, total int)) (*GridResult, error) {
+	return en.RunGridProgressCtx(context.Background(), g, onCell)
+}
+
+// RunGridCtx is RunGrid under a context; see RunGridProgressCtx.
+func (en *Engine) RunGridCtx(ctx context.Context, g Grid) (*GridResult, error) {
+	return en.RunGridProgressCtx(ctx, g, nil)
+}
+
+// RunGridProgressCtx is the context-aware RunGridProgress: a cancelled
+// ctx stops scheduling cells and returns ctx.Err() promptly, and the
+// first cell error stops the remaining cells (fail-fast). Simulations
+// shared with other engine callers keep running for them. Stragglers
+// may tick onCell briefly after an early ctx-cancelled return.
+func (en *Engine) RunGridProgressCtx(ctx context.Context, g Grid, onCell func(done, total int)) (*GridResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	cells := g.Expand()
-	results, err := exp.MapProgress(en.pool, len(cells), func(i int) (GridCellResult, error) {
-		return en.runCell(cells[i])
+	results, err := exp.MapProgressCtx(ctx, en.pool, len(cells), func(ctx context.Context, i int) (GridCellResult, error) {
+		return en.runCell(ctx, cells[i])
 	}, onCell)
 	if err != nil {
 		return nil, err
@@ -107,7 +132,7 @@ func gridWorkload(c GridCell) Workload {
 // runCell executes one cell: skip if infeasible, otherwise simulate the
 // cell's fabric and its electrical baseline (both memoized) and report
 // timing, telemetry, and normalized slowdown.
-func (en *Engine) runCell(c GridCell) (GridCellResult, error) {
+func (en *Engine) runCell(ctx context.Context, c GridCell) (GridCellResult, error) {
 	out := GridCellResult{Cell: c}
 	if reason := c.Skip(); reason != "" {
 		out.Skipped = true
@@ -115,7 +140,7 @@ func (en *Engine) runCell(c GridCell) (GridCellResult, error) {
 		return out, nil
 	}
 	w := gridWorkload(c)
-	base, err := en.Simulate(w, Fabric{Kind: ElectricalRail})
+	base, err := en.SimulateCtx(ctx, w, Fabric{Kind: ElectricalRail})
 	if err != nil {
 		return out, fmt.Errorf("photonrail: cell %s baseline: %w", c.Name(), err)
 	}
@@ -127,11 +152,11 @@ func (en *Engine) runCell(c GridCell) (GridCellResult, error) {
 	case scenario.Electrical:
 		res = base
 	case scenario.Photonic:
-		res, err = en.Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: c.LatencyMS})
+		res, err = en.SimulateCtx(ctx, w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: c.LatencyMS})
 	case scenario.PhotonicProvisioned:
-		res, err = en.provisionedStable(w, c.LatencyMS)
+		res, err = en.provisionedStableCtx(ctx, w, c.LatencyMS)
 	case scenario.PhotonicStatic:
-		res, err = en.Simulate(w, Fabric{Kind: PhotonicStaticPartition})
+		res, err = en.SimulateCtx(ctx, w, Fabric{Kind: PhotonicStaticPartition})
 	default:
 		err = fmt.Errorf("unknown grid fabric kind %v", c.Fabric)
 	}

@@ -13,14 +13,34 @@
 // singleflight deduplication holds across resets: two concurrent
 // requests for one key never both compute, reset or not.
 //
+// Every operation has a context-aware form (DoCtx, CachedCtx, MapCtx)
+// with two cancellation guarantees:
+//
+//   - fan-out is fail-fast: the first job error — or a context
+//     cancellation — stops scheduling the remaining jobs, and a
+//     cancelled MapCtx returns ctx.Err() promptly instead of waiting
+//     out jobs it no longer wants;
+//   - singleflight is detached: a computation is owned by the engine,
+//     not by the caller that started it. A caller cancelling its
+//     context departs immediately with ctx.Err(), but the shared
+//     computation keeps running for the other callers that joined it;
+//     only when the LAST waiter departs is the computation's own
+//     context cancelled, and a computation that then fails with a
+//     cancellation error is dropped rather than memoized, so a later
+//     request recomputes cleanly.
+//
 // Results are always gathered by submission index, never by completion
-// order, and errors are reported lowest-index-first, so a parallel run
-// is byte-identical to a sequential one as long as the jobs themselves
-// are deterministic (the discrete-event simulator is).
+// order, so a *successful* parallel run is byte-identical to a
+// sequential one as long as the jobs themselves are deterministic (the
+// discrete-event simulator is). On failure the guarantee is weaker by
+// design: fail-fast stops scheduling once any job errors, so which
+// jobs ran — and therefore which error surfaces when several could
+// fail — depends on scheduling order.
 package exp
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -50,6 +70,13 @@ type Engine struct {
 // While running the entry lives only in the cache map; on completion it
 // is pushed onto the LRU list with its cost (running entries are never
 // evicted and survive ResetCache, preserving singleflight).
+//
+// waiters counts the callers currently blocked on the computation; when
+// it drops to zero before completion, runCtx is cancelled — the
+// detached-singleflight contract. A computation that then finishes with
+// an error under its cancelled runCtx is abandoned: dropped from the
+// cache instead of memoized, so joiners that raced the cancellation
+// retry with a fresh computation.
 type entry struct {
 	key  string
 	done chan struct{}
@@ -57,6 +84,18 @@ type entry struct {
 	err  error
 	cost int64
 	elem *list.Element // nil while running or after eviction
+
+	runCtx context.Context
+	cancel context.CancelFunc
+
+	// Guarded by the engine mutex while running.
+	waiters   int
+	completed bool
+
+	// Final-state flags, written before done closes.
+	abandoned bool // cancelled-and-failed: not memoized, waiters retry
+	panicked  bool // fn panicked: the creator re-panics, joiners error
+	panicVal  any
 }
 
 // New builds an engine with the given worker count and an unbounded
@@ -143,61 +182,160 @@ func (e *Engine) Do(key string, fn func() (any, error)) (any, error) {
 	return e.DoCost(key, 1, fn)
 }
 
-// DoCost returns the memoized result of fn under key, computing it at
-// most once per engine; concurrent callers of the same key block until
-// the first computation finishes (singleflight). Errors are memoized
-// too — the jobs keyed here are deterministic, so retrying cannot
-// succeed. cost weighs the entry against the engine's LRU bound (use
-// higher costs for results that pin more memory, e.g. full traces).
-// fn runs on the caller's goroutine and must not itself submit work to
-// the engine's pool.
+// DoCost is DoCostCtx with a background context: the caller never
+// departs, so the computation is never cancelled under it.
 func (e *Engine) DoCost(key string, cost int64, fn func() (any, error)) (any, error) {
+	return e.DoCostCtx(context.Background(), key, cost, func(context.Context) (any, error) { return fn() })
+}
+
+// DoCtx returns the memoized result of fn under key with cost 1; see
+// DoCostCtx.
+func (e *Engine) DoCtx(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, error) {
+	return e.DoCostCtx(ctx, key, 1, fn)
+}
+
+// DoCostCtx returns the memoized result of fn under key, computing it
+// at most once per engine; concurrent callers of the same key join the
+// in-flight computation instead of recomputing (singleflight). Errors
+// are memoized too — the jobs keyed here are deterministic, so
+// retrying cannot succeed.
+//
+// The computation is detached: fn runs on its own goroutine under its
+// own context (NOT the caller's), so a caller whose ctx is cancelled
+// returns ctx.Err() promptly without killing the computation for the
+// other callers that joined it. The computation's context is cancelled
+// only when its last waiter departs; if fn then returns an error, the
+// result is dropped instead of memoized and the next request
+// recomputes. fn must not itself submit work to the engine's pool
+// (nested fan-out could exhaust the pool and deadlock).
+//
+// A panicking fn re-panics on the goroutine of the caller that started
+// the computation (if it is still waiting); every other caller of the
+// key receives a memoized error.
+//
+// cost weighs the entry against the engine's LRU bound (use higher
+// costs for results that pin more memory, e.g. full traces).
+func (e *Engine) DoCostCtx(ctx context.Context, key string, cost int64, fn func(ctx context.Context) (any, error)) (any, error) {
 	if cost < 1 {
 		cost = 1
 	}
-	e.mu.Lock()
-	if ent, ok := e.cache[key]; ok {
-		if ent.elem != nil {
-			e.lru.MoveToFront(ent.elem)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+		e.mu.Lock()
+		if ent, ok := e.cache[key]; ok {
+			if ent.elem != nil {
+				e.lru.MoveToFront(ent.elem)
+			}
+			if !ent.completed {
+				ent.waiters++
+			}
+			e.mu.Unlock()
+			e.hits.Add(1)
+			v, err, retry := e.wait(ctx, ent, false)
+			if retry {
+				continue // joined a computation abandoned by cancellation
+			}
+			return v, err
+		}
+		ent := &entry{key: key, done: make(chan struct{}), cost: cost, waiters: 1}
+		ent.runCtx, ent.cancel = context.WithCancel(context.Background())
+		e.cache[key] = ent
 		e.mu.Unlock()
-		e.hits.Add(1)
-		<-ent.done
-		return ent.val, ent.err
-	}
-	ent := &entry{key: key, done: make(chan struct{}), cost: cost}
-	e.cache[key] = ent
-	e.mu.Unlock()
-	e.misses.Add(1)
-	e.inflight.Add(1)
-	completed := false
-	defer func() {
-		// A panicking fn must still release waiters: record the failure
-		// and close done before the panic propagates, or every later
-		// caller of this key would block forever on a poisoned entry.
-		if !completed {
-			ent.err = fmt.Errorf("exp: computation for key %q panicked", key)
+		e.misses.Add(1)
+		e.inflight.Add(1)
+		go e.compute(ent, fn)
+		v, err, retry := e.wait(ctx, ent, true)
+		if retry {
+			continue
 		}
-		e.inflight.Add(-1)
-		e.complete(ent)
-		close(ent.done)
-	}()
-	ent.val, ent.err = fn()
-	completed = true
-	return ent.val, ent.err
+		return v, err
+	}
 }
 
-// complete installs a finished entry on the LRU list and enforces the
-// cost bound. The entry may have been dropped from the map by a
-// concurrent ResetCache only if it was already completed — a running
-// entry is always kept — so here it is still present and becomes
-// evictable from now on.
-func (e *Engine) complete(ent *entry) {
+// compute runs one detached computation and installs its outcome.
+func (e *Engine) compute(ent *entry, fn func(ctx context.Context) (any, error)) {
+	defer func() {
+		// A panicking fn must still release waiters: record the failure
+		// and close done, or every later caller of this key would block
+		// forever on a poisoned entry. The panic value is kept so the
+		// creating caller can re-raise it on its own goroutine.
+		if r := recover(); r != nil {
+			ent.panicked = true
+			ent.panicVal = r
+			ent.err = fmt.Errorf("exp: computation for key %q panicked", ent.key)
+		}
+		e.inflight.Add(-1)
+		e.finish(ent)
+	}()
+	ent.val, ent.err = fn(ent.runCtx)
+}
+
+// finish installs a completed computation: memoized on the LRU list, or
+// — when it failed under a cancelled run context — abandoned, so the
+// cancellation of the last waiter is never memoized as the key's
+// permanent result. Panic errors are memoized even under cancellation
+// (a panic is deterministic brokenness, not a cancellation artifact).
+func (e *Engine) finish(ent *entry) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent.elem = e.lru.PushFront(ent)
-	e.curCost += ent.cost
-	e.evictLocked()
+	ent.completed = true
+	if ent.err != nil && !ent.panicked && ent.runCtx.Err() != nil {
+		ent.abandoned = true
+		if e.cache[ent.key] == ent {
+			delete(e.cache, ent.key)
+		}
+	} else {
+		// A running entry always survives ResetCache, so it is still in
+		// the map here and becomes evictable from now on.
+		ent.elem = e.lru.PushFront(ent)
+		e.curCost += ent.cost
+		e.evictLocked()
+	}
+	e.mu.Unlock()
+	ent.cancel() // release the detached context's resources
+	close(ent.done)
+}
+
+// wait blocks until the entry completes or ctx is cancelled. The third
+// return is true when the caller should retry the whole request: it
+// joined a computation that was abandoned by cancellation.
+func (e *Engine) wait(ctx context.Context, ent *entry, creator bool) (any, error, bool) {
+	select {
+	case <-ent.done:
+	case <-ctx.Done():
+		// The result may have landed in the same instant; prefer it.
+		select {
+		case <-ent.done:
+		default:
+			e.depart(ent)
+			return nil, ctx.Err(), false
+		}
+	}
+	if ent.panicked && creator {
+		panic(ent.panicVal)
+	}
+	if ent.abandoned {
+		return nil, nil, true
+	}
+	return ent.val, ent.err, false
+}
+
+// depart drops one waiter; the last waiter leaving a still-running
+// computation cancels its detached context — from that point the
+// computation is allowed (not required) to stop, and a cancellation
+// error it returns is abandoned rather than memoized.
+func (e *Engine) depart(ent *entry) {
+	e.mu.Lock()
+	last := false
+	if !ent.completed {
+		ent.waiters--
+		last = ent.waiters == 0
+	}
+	e.mu.Unlock()
+	if last {
+		ent.cancel()
+	}
 }
 
 // evictLocked drops least-recently-used completed entries until the
@@ -225,7 +363,17 @@ func Cached[T any](e *Engine, key string, fn func() (T, error)) (T, error) {
 
 // CachedCost is the typed wrapper over DoCost.
 func CachedCost[T any](e *Engine, key string, cost int64, fn func() (T, error)) (T, error) {
-	v, err := e.DoCost(key, cost, func() (any, error) { return fn() })
+	return CachedCostCtx(context.Background(), e, key, cost, func(context.Context) (T, error) { return fn() })
+}
+
+// CachedCtx is the typed wrapper over DoCtx.
+func CachedCtx[T any](ctx context.Context, e *Engine, key string, fn func(ctx context.Context) (T, error)) (T, error) {
+	return CachedCostCtx(ctx, e, key, 1, fn)
+}
+
+// CachedCostCtx is the typed wrapper over DoCostCtx.
+func CachedCostCtx[T any](ctx context.Context, e *Engine, key string, cost int64, fn func(ctx context.Context) (T, error)) (T, error) {
+	v, err := e.DoCostCtx(ctx, key, cost, func(c context.Context) (any, error) { return fn(c) })
 	if err != nil {
 		var zero T
 		return zero, err
@@ -234,10 +382,12 @@ func CachedCost[T any](e *Engine, key string, cost int64, fn func() (T, error)) 
 }
 
 // Map runs fn(0), …, fn(n-1) across the engine's workers and gathers
-// the results by submission index. Every job runs to completion even
-// when another fails; on failure the lowest-index error is returned so
-// the outcome does not depend on completion order. Jobs may call
-// Do/Cached (which run inline on the worker) but must not call Map —
+// the results by submission index. Fan-out is fail-fast: after the
+// first job error no new jobs start (already-running jobs finish), and
+// the lowest-index error among the jobs that ran is returned — which
+// jobs those are depends on scheduling, so with several failing jobs
+// the surfaced error can differ between runs. Jobs may call Do/Cached
+// (which detach onto their own goroutine) but must not call Map —
 // nested fan-out could exhaust the pool and deadlock.
 func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	return MapProgress(e, n, fn, nil)
@@ -253,8 +403,29 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 // by submission index, so parallel output stays byte-identical to a
 // sequential run.
 func MapProgress[T any](e *Engine, n int, fn func(i int) (T, error), onDone func(completed, total int)) ([]T, error) {
+	return MapProgressCtx(context.Background(), e, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) }, onDone)
+}
+
+// MapCtx is the context-aware Map: jobs receive ctx, a cancelled ctx
+// stops scheduling and returns ctx.Err() promptly, and the first job
+// error stops scheduling the remaining jobs (fail-fast).
+func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapProgressCtx(ctx, e, n, fn, nil)
+}
+
+// MapProgressCtx is MapCtx with MapProgress's completion hook.
+//
+// Cancellation is prompt: when ctx is cancelled, MapProgressCtx returns
+// ctx.Err() without waiting for already-running jobs to wind down (jobs
+// that honor ctx — e.g. anything built on DoCtx — return quickly on
+// their own). Stragglers may therefore still invoke onDone briefly
+// after MapProgressCtx has returned; hooks must tolerate that.
+func MapProgressCtx[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) (T, error), onDone func(completed, total int)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
+	stop := make(chan struct{}) // closed on the first job error
+	var stopOnce sync.Once
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
 	completed := 0
@@ -262,9 +433,28 @@ func MapProgress[T any](e *Engine, n int, fn func(i int) (T, error), onDone func
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			e.slots <- struct{}{}
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case e.slots <- struct{}{}:
+			}
 			defer func() { <-e.slots }()
-			out[i], errs[i] = fn(i)
+			// The slot may have been granted in the same instant the
+			// fan-out failed or was cancelled; re-check before running,
+			// so no job starts after the first error is observed.
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			out[i], errs[i] = fn(ctx, i)
+			if errs[i] != nil {
+				stopOnce.Do(func() { close(stop) })
+			}
 			if onDone != nil {
 				progressMu.Lock()
 				completed++
@@ -273,7 +463,16 @@ func MapProgress[T any](e *Engine, n int, fn func(i int) (T, error), onDone func
 			}
 		}(i)
 	}
-	wg.Wait()
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -27,22 +27,42 @@ func TestMapOrderStable(t *testing.T) {
 }
 
 func TestMapLowestIndexError(t *testing.T) {
-	e := New(8)
-	// Jobs 30 and 70 fail; the returned error must be job 30's no matter
-	// which completes first.
+	// Single worker, so jobs run serially in goroutine-scheduling order
+	// and every job before the failing one completes. Fail-fast: the
+	// error returned is the lowest-index error among the jobs that ran,
+	// and jobs after the first failure never start.
+	e := New(1)
 	var ran atomic.Int64
 	_, err := Map(e, 100, func(i int) (int, error) {
 		ran.Add(1)
-		if i == 30 || i == 70 {
-			return 0, fmt.Errorf("job %d failed", i)
-		}
-		return i, nil
+		return 0, fmt.Errorf("job %d failed", i)
 	})
-	if err == nil || err.Error() != "job 30 failed" {
-		t.Fatalf("err = %v, want job 30's", err)
+	if err == nil || !strings.HasPrefix(err.Error(), "job ") {
+		t.Fatalf("err = %v, want a job error", err)
 	}
-	if ran.Load() != 100 {
-		t.Fatalf("ran %d jobs, want all 100", ran.Load())
+	if n := ran.Load(); n != 1 {
+		t.Fatalf("ran %d jobs, want 1 (fail-fast stops scheduling)", n)
+	}
+}
+
+func TestMapFailFastStopsScheduling(t *testing.T) {
+	// Regression for the pre-context error path: a failing job used to
+	// wait for every remaining queued job to run before Map returned.
+	// With one worker the first job to run fails, and no further job may
+	// start — the post-acquire stop check must catch the slot handoff
+	// racing the stop broadcast.
+	e := New(1)
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := Map(e, 50, func(i int) (int, error) {
+		started.Add(1)
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n != 1 {
+		t.Fatalf("%d jobs started, want 1 (no job may start after the first error)", n)
 	}
 }
 
@@ -223,14 +243,14 @@ func TestMapProgressNilHookIsMap(t *testing.T) {
 }
 
 func TestMapProgressHookRunsOnFailure(t *testing.T) {
-	e := New(2)
+	// Fail-fast: the hook still ticks for every job that actually ran
+	// (including the failing one), but jobs stopped from starting do not
+	// fabricate completions.
+	e := New(1)
 	calls := 0
 	var mu sync.Mutex
 	_, err := MapProgress(e, 4, func(i int) (int, error) {
-		if i == 1 {
-			return 0, errors.New("boom")
-		}
-		return i, nil
+		return 0, errors.New("boom")
 	}, func(completed, total int) {
 		mu.Lock()
 		calls++
@@ -239,7 +259,9 @@ func TestMapProgressHookRunsOnFailure(t *testing.T) {
 	if err == nil {
 		t.Fatal("error swallowed")
 	}
-	if calls != 4 {
-		t.Errorf("progress calls = %d, want 4 (every job completes)", calls)
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("progress calls = %d, want 1 (only the job that ran completes)", calls)
 	}
 }

@@ -1,25 +1,65 @@
-// Package gridcli is the shared command-line surface of the grid
-// tools: cmd/railgrid (local execution) and cmd/railclient (remote
-// execution against a raild daemon) register the same dimension flags,
-// build the same wire-encodable scenario.Spec from them, and render
-// results through the same table/CSV/JSON renderers, so a railgrid
-// invocation and its railclient twin differ only in where the cells
-// simulate.
+// Package gridcli is the shared command-line surface of the
+// experiment CLIs: cmd/railgrid (local execution) and cmd/railclient
+// (remote execution against a raild daemon) register the same
+// dimension flags, build the same wire-encodable scenario.Spec from
+// them, and render results through the same table/CSV/JSON renderers,
+// so a railgrid invocation and its railclient twin differ only in
+// where the cells simulate. The registry-driven one-shot CLIs
+// (railcost, railwindows) share their run loop here too.
 package gridcli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"photonrail"
 	"photonrail/internal/model"
 	"photonrail/internal/report"
 	"photonrail/internal/scenario"
 	"photonrail/internal/topo"
 )
+
+// WithTimeout returns a context bounded by d; d <= 0 means no
+// deadline (the returned cancel func is still non-nil). The shared
+// -timeout plumbing of every experiment CLI.
+func WithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// RunExperiments looks up and runs each named registry experiment on
+// the engine with the same params, rendering each result to w (CSV
+// when csv is set) — the shared body of the one-shot registry CLIs
+// (railcost, railwindows).
+func RunExperiments(ctx context.Context, en *photonrail.Engine, names []string, p photonrail.Params, csv bool, w io.Writer) error {
+	for _, name := range names {
+		e, ok := photonrail.Lookup(name)
+		if !ok {
+			return fmt.Errorf("experiment %q not registered", name)
+		}
+		res, err := e.Run(ctx, en, p)
+		if err != nil {
+			return err
+		}
+		if csv {
+			err = res.RenderCSV(w)
+		} else {
+			err = res.RenderText(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Dimensions holds the registered dimension flag values.
 type Dimensions struct {
@@ -36,6 +76,16 @@ type Dimensions struct {
 	mb        *int
 	mbs       *int
 	iters     *int
+}
+
+// DefaultGridName sets the -grid flag's value when the user did not
+// supply one. railclient's `-exp <built-in grid>` path uses it so the
+// dimension flags overlay that grid's axes — exactly what
+// `-grid <name>` would do — instead of the paper-default custom grid.
+func (d *Dimensions) DefaultGridName(name string) {
+	if *d.gridName == "" {
+		*d.gridName = name
+	}
 }
 
 // Register installs the grid dimension flags on fs and returns their
@@ -162,6 +212,26 @@ func (d *Dimensions) Spec() (scenario.Spec, scenario.Grid, error) {
 		return scenario.Spec{}, scenario.Grid{}, err
 	}
 	return spec, g, nil
+}
+
+// SweepParams maps the dimension flags a non-grid experiment honors
+// onto registry params: -latencies becomes LatenciesMS and -iters
+// becomes Iterations (railclient's `-exp fig8 -latencies 0,10
+// -iters 1` must match its local `railsweep` twin instead of silently
+// running paper defaults). Flags with no non-grid meaning are left at
+// their registry defaults.
+func (d *Dimensions) SweepParams() (photonrail.Params, error) {
+	p := photonrail.Params{Iterations: *d.iters}
+	if *d.latencies != "" {
+		for _, s := range splitList(*d.latencies) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return photonrail.Params{}, fmt.Errorf("bad latency %q: %w", s, err)
+			}
+			p.LatenciesMS = append(p.LatenciesMS, v)
+		}
+	}
+	return p, nil
 }
 
 // ParseParallelism parses TP:DP:PP[:CP[:EP]].

@@ -56,7 +56,16 @@ func FuzzMessageRoundTrip(f *testing.F) {
 			},
 			Shared: true,
 		}},
-		{Type: MsgStatsResp, Seq: 12, Cache: &CacheStatsPayload{Hits: 100, Misses: 7, Evictions: 3, InFlight: 2, GridsExecuted: 4, GridsDeduped: 9}},
+		{Type: MsgStatsResp, Seq: 12, Cache: &CacheStatsPayload{Hits: 100, Misses: 7, Evictions: 3, InFlight: 2, GridsExecuted: 4, GridsDeduped: 9, ExpsExecuted: 2, ExpsDeduped: 5}},
+		{Type: MsgExpReq, Seq: 13, Exp: &ExpRequestPayload{
+			Name: "fig8", TimeoutMS: 5000, Iterations: 2, LatenciesMS: []float64{0, 10, 100}, Rail: 1}},
+		{Type: MsgExpReq, Seq: 14, Exp: &ExpRequestPayload{
+			Name: "grid", Grid: &scenario.Spec{Name: "custom", Models: []string{"Llama3-8B"}, LatenciesMS: []float64{5}}}},
+		{Type: MsgExpProgress, Seq: 13, Progress: &GridProgress{Done: 2, Total: 3}},
+		{Type: MsgExpResult, Seq: 13, ExpResult: &ExpResultPayload{
+			Name: "fig8", Grid: "", Rendered: "Fig. 8\ncol  col\n", RenderedCSV: "a,b\n1,2\n",
+			RowsJSON: "{\n  \"iterations\": 2\n}\n", Shared: true}},
+		{Type: MsgCancel, Seq: 13},
 	}
 	for _, m := range seeds {
 		f.Add(seedFrame(f, m))
@@ -103,9 +112,10 @@ func FuzzMessageRoundTrip(f *testing.F) {
 	})
 }
 
-// TestGridMessagesRoundTrip pins the new raild frames outside the
-// fuzzer: exact field-level equality through the wire, including nested
-// spec and row payloads.
+// TestGridMessagesRoundTrip pins the raild frames outside the fuzzer:
+// exact field-level equality through the wire, including nested spec,
+// row, and experiment payloads. The experiment result's pre-rendered
+// strings must survive verbatim (they are the client's output bytes).
 func TestGridMessagesRoundTrip(t *testing.T) {
 	spec := scenario.SpecOf(scenario.Fig8Grid5D())
 	msgs := []*Message{
@@ -113,7 +123,17 @@ func TestGridMessagesRoundTrip(t *testing.T) {
 		{Type: MsgGridProgress, Seq: 21, Progress: &GridProgress{Done: 3, Total: 48}},
 		{Type: MsgGridResult, Seq: 21, Grid: &GridResultPayload{Name: "fig8-5d", Shared: true,
 			Rows: []scenario.Row{{Cell: "c", Status: "ok", Slowdown: 1.25}}}},
-		{Type: MsgStatsResp, Seq: 22, Cache: &CacheStatsPayload{Hits: 5, GridsExecuted: 1, GridsDeduped: 1}},
+		{Type: MsgStatsResp, Seq: 22, Cache: &CacheStatsPayload{Hits: 5, GridsExecuted: 1, GridsDeduped: 1, ExpsExecuted: 3, ExpsDeduped: 2}},
+		{Type: MsgExpReq, Seq: 23, Exp: &ExpRequestPayload{
+			Name: "window-analysis", TimeoutMS: 30_000, WindowIterations: 4, GPUs: 1024, Grid: &spec}},
+		{Type: MsgExpProgress, Seq: 23, Progress: &GridProgress{Done: 1, Total: 9}},
+		{Type: MsgExpResult, Seq: 23, ExpResult: &ExpResultPayload{
+			Name: "window-analysis", Grid: "fig8-5d",
+			Rendered:    "Fig. 4a: window-size CDF per rail (ms)\nRail  N\n----  -\n\n",
+			RenderedCSV: "rail,n\nrail1,6\n",
+			RowsJSON:    "{\n  \"fractionOver1ms\": 1\n}\n",
+			Shared:      true}},
+		{Type: MsgCancel, Seq: 23},
 	}
 	var buf bytes.Buffer
 	for _, m := range msgs {

@@ -9,10 +9,15 @@
 // on only once every rank of the communication group has issued it, and
 // all ranks are acknowledged together.
 //
-// The same framed protocol also carries the raild sweep-serving
-// messages: a client submits a scenario-grid request (MsgGridReq), the
-// daemon streams per-cell progress frames (MsgGridProgress) and finally
-// the executed rows (MsgGridResult). See internal/railserve.
+// The same framed protocol also carries the raild experiment-serving
+// messages. The historical grid path (MsgGridReq/MsgGridProgress/
+// MsgGridResult) submits one scenario grid; the general path
+// (MsgExpReq/MsgExpProgress/MsgExpResult) runs any experiment in the
+// photonrail registry, honors a per-request deadline (TimeoutMS), and
+// supports client-initiated cancellation: a MsgCancel frame carrying a
+// request's Seq stops that request's wait — and only that request's;
+// an execution other clients joined keeps running for them. See
+// internal/railserve.
 package opusnet
 
 import (
@@ -60,6 +65,21 @@ const (
 	MsgGridProgress MsgType = "grid_progress"
 	// MsgGridResult carries a completed grid's rows.
 	MsgGridResult MsgType = "grid_result"
+
+	// MsgExpReq submits a registered photonrail experiment by name; Exp
+	// carries the parameters and optional per-request deadline.
+	MsgExpReq MsgType = "exp_req"
+	// MsgExpProgress streams completion counts for a running experiment
+	// request (grid experiments tick per cell; advisory, like
+	// MsgGridProgress).
+	MsgExpProgress MsgType = "exp_progress"
+	// MsgExpResult carries a completed experiment's renderings and rows.
+	MsgExpResult MsgType = "exp_result"
+	// MsgCancel cancels the sender's outstanding request with the same
+	// Seq: that request terminates promptly with MsgErr, while an
+	// execution other requests joined keeps running for them. Unknown or
+	// already-completed Seqs are ignored; MsgCancel itself has no reply.
+	MsgCancel MsgType = "cancel"
 )
 
 // Message is the single wire envelope.
@@ -89,6 +109,50 @@ type Message struct {
 	Grid *GridResultPayload `json:"grid,omitempty"`
 	// Cache carries a raild daemon's serving telemetry (MsgStatsResp).
 	Cache *CacheStatsPayload `json:"cache,omitempty"`
+	// Exp declares the requested experiment (MsgExpReq).
+	Exp *ExpRequestPayload `json:"exp,omitempty"`
+	// ExpResult carries a completed experiment (MsgExpResult).
+	ExpResult *ExpResultPayload `json:"expResult,omitempty"`
+}
+
+// ExpRequestPayload names a registered photonrail experiment and its
+// parameters in wire form. Zero-valued parameters take the
+// experiment's documented defaults, mirroring photonrail.Params.
+type ExpRequestPayload struct {
+	// Name is the registry name (photonrail.Lookup).
+	Name string `json:"name"`
+	// TimeoutMS, when positive, is the per-request deadline: the daemon
+	// abandons this request's wait (with MsgErr) once it elapses.
+	TimeoutMS int64 `json:"timeoutMS,omitempty"`
+
+	Iterations       int            `json:"iterations,omitempty"`
+	WindowIterations int            `json:"windowIterations,omitempty"`
+	LatenciesMS      []float64      `json:"latenciesMS,omitempty"`
+	Rail             int            `json:"rail,omitempty"`
+	GPUs             int            `json:"gpus,omitempty"`
+	Grid             *scenario.Spec `json:"grid,omitempty"`
+}
+
+// ExpResultPayload is a completed experiment in wire form. The daemon
+// renders once and ships the exact bytes each output format prints, so
+// a remote invocation is byte-identical to its local twin without the
+// client re-implementing any renderer.
+type ExpResultPayload struct {
+	// Name is the experiment that ran.
+	Name string `json:"name"`
+	// Grid is the executed grid's name for grid experiments.
+	Grid string `json:"gridName,omitempty"`
+	// Rendered is the aligned-text rendering.
+	Rendered string `json:"rendered,omitempty"`
+	// RenderedCSV is the CSV rendering.
+	RenderedCSV string `json:"renderedCSV,omitempty"`
+	// RowsJSON is the indented-JSON rendering of the structured rows
+	// (carried as a string so re-encoding the frame cannot re-compact
+	// the exact bytes).
+	RowsJSON string `json:"rowsJSON,omitempty"`
+	// Shared reports the request was coalesced onto an identical
+	// in-flight request from another client.
+	Shared bool `json:"shared,omitempty"`
 }
 
 // GridProgress is one per-cell progress tick of a running grid.
@@ -110,7 +174,7 @@ type GridResultPayload struct {
 
 // CacheStatsPayload mirrors the daemon's engine and serving telemetry
 // over the wire: the memo-cache counters plus the request-level grid
-// dedup counters.
+// and experiment dedup counters.
 type CacheStatsPayload struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
@@ -118,6 +182,8 @@ type CacheStatsPayload struct {
 	InFlight      int64  `json:"inFlight"`
 	GridsExecuted uint64 `json:"gridsExecuted"`
 	GridsDeduped  uint64 `json:"gridsDeduped"`
+	ExpsExecuted  uint64 `json:"expsExecuted,omitempty"`
+	ExpsDeduped   uint64 `json:"expsDeduped,omitempty"`
 }
 
 // StatsPayload mirrors opus.Stats over the wire.

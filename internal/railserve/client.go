@@ -1,6 +1,7 @@
 package railserve
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -30,6 +31,7 @@ type Client struct {
 // pendingCall is one outstanding request: progress frames tick the
 // callback, the final frame (result, stats, or error) lands on result.
 type pendingCall struct {
+	seq        uint64
 	onProgress func(done, total int)
 	result     chan *opusnet.Message
 }
@@ -64,16 +66,17 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			return
 		}
+		progress := msg.Type == opusnet.MsgGridProgress || msg.Type == opusnet.MsgExpProgress
 		c.mu.Lock()
 		p, ok := c.pending[msg.Seq]
-		if ok && msg.Type != opusnet.MsgGridProgress {
+		if ok && !progress {
 			delete(c.pending, msg.Seq) // final frame for this call
 		}
 		c.mu.Unlock()
 		if !ok {
 			continue // reply for an abandoned call
 		}
-		if msg.Type == opusnet.MsgGridProgress {
+		if progress {
 			if p.onProgress != nil && msg.Progress != nil {
 				p.onProgress(msg.Progress.Done, msg.Progress.Total)
 			}
@@ -94,6 +97,7 @@ func (c *Client) start(m *opusnet.Message, onProgress func(done, total int)) (*p
 	}
 	c.seq++
 	m.Seq = c.seq
+	p.seq = m.Seq
 	c.pending[m.Seq] = p
 	c.mu.Unlock()
 	c.wmu.Lock()
@@ -136,18 +140,104 @@ type GridRun struct {
 // ticks as the daemon streams them (calls are serialized per request;
 // ticks may be dropped on a slow connection — they are advisory).
 func (c *Client) RunGrid(spec scenario.Spec, onProgress func(done, total int)) (*GridRun, error) {
+	return c.RunGridCtx(context.Background(), spec, onProgress)
+}
+
+// RunGridCtx is RunGrid bounded by ctx: on expiry the call is
+// abandoned client-side and ctx.Err() returned promptly (a best-effort
+// cancel frame is sent; the legacy grid path executes to completion
+// server-side either way, warming the daemon's cache).
+func (c *Client) RunGridCtx(ctx context.Context, spec scenario.Spec, onProgress func(done, total int)) (*GridRun, error) {
 	p, err := c.start(&opusnet.Message{Type: opusnet.MsgGridReq, Spec: &spec}, onProgress)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := p.await()
-	if err != nil {
-		return nil, err
+	var resp *opusnet.Message
+	select {
+	case m, ok := <-p.result:
+		if !ok {
+			return nil, fmt.Errorf("railserve: connection closed awaiting reply")
+		}
+		resp = m
+	case <-ctx.Done():
+		c.sendCancel(p.seq)
+		c.forget(p.seq)
+		return nil, ctx.Err()
+	}
+	if resp.Type == opusnet.MsgErr {
+		return nil, fmt.Errorf("railserve: %s", resp.Error)
 	}
 	if resp.Type != opusnet.MsgGridResult || resp.Grid == nil {
 		return nil, fmt.Errorf("railserve: unexpected reply %q to grid request", resp.Type)
 	}
 	return &GridRun{Name: resp.Grid.Name, Rows: resp.Grid.Rows, Shared: resp.Grid.Shared}, nil
+}
+
+// ExpRun is one completed experiment as the daemon reported it: the
+// exact bytes each output format prints, rendered server-side.
+type ExpRun struct {
+	// Name is the experiment that ran; Grid is the executed grid's name
+	// for grid experiments.
+	Name, Grid string
+	// Rendered, RenderedCSV, and RowsJSON are the aligned-text, CSV,
+	// and indented-JSON renderings.
+	Rendered, RenderedCSV, RowsJSON string
+	// Shared reports the daemon coalesced this request onto an
+	// identical in-flight request.
+	Shared bool
+}
+
+// RunExperiment submits a registered experiment by name and blocks
+// until the daemon returns the result, the request's TimeoutMS elapses
+// server-side, or ctx is cancelled — in which case a cancel frame is
+// sent so the daemon stops only this request's wait (an execution other
+// clients joined keeps running for them) and ctx.Err() is returned
+// promptly. onProgress receives advisory completion ticks.
+func (c *Client) RunExperiment(ctx context.Context, req opusnet.ExpRequestPayload, onProgress func(done, total int)) (*ExpRun, error) {
+	p, err := c.start(&opusnet.Message{Type: opusnet.MsgExpReq, Exp: &req}, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	var resp *opusnet.Message
+	select {
+	case m, ok := <-p.result:
+		if !ok {
+			return nil, fmt.Errorf("railserve: connection closed awaiting reply")
+		}
+		resp = m
+	case <-ctx.Done():
+		// Best-effort: tell the daemon this wait is over, then abandon
+		// the call locally (its eventual error frame is dropped).
+		c.sendCancel(p.seq)
+		c.forget(p.seq)
+		return nil, ctx.Err()
+	}
+	if resp.Type == opusnet.MsgErr {
+		return nil, fmt.Errorf("railserve: %s", resp.Error)
+	}
+	if resp.Type != opusnet.MsgExpResult || resp.ExpResult == nil {
+		return nil, fmt.Errorf("railserve: unexpected reply %q to experiment request", resp.Type)
+	}
+	r := resp.ExpResult
+	return &ExpRun{
+		Name: r.Name, Grid: r.Grid,
+		Rendered: r.Rendered, RenderedCSV: r.RenderedCSV, RowsJSON: r.RowsJSON,
+		Shared: r.Shared,
+	}, nil
+}
+
+// sendCancel writes a cancel frame for an outstanding request's seq.
+func (c *Client) sendCancel(seq uint64) {
+	c.wmu.Lock()
+	_ = opusnet.WriteMessage(c.conn, &opusnet.Message{Type: opusnet.MsgCancel, Seq: seq})
+	c.wmu.Unlock()
+}
+
+// forget abandons an outstanding call: later frames for it are dropped.
+func (c *Client) forget(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
 }
 
 // Stats fetches the daemon's serving telemetry.

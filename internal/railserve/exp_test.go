@@ -1,0 +1,318 @@
+package railserve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"photonrail"
+	"photonrail/internal/opusnet"
+	"photonrail/internal/scenario"
+)
+
+// localRendering runs a registry experiment in-process and returns the
+// three renderings the daemon is expected to ship byte for byte.
+func localRendering(t *testing.T, name string, p photonrail.Params) (text, csv, rows string) {
+	t.Helper()
+	e, ok := photonrail.Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	res, err := e.Run(context.Background(), photonrail.NewEngine(0), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, cb, rb bytes.Buffer
+	if err := res.RenderText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RenderCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.RenderJSON(&rb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), cb.String(), rb.String()
+}
+
+// TestExpLoopbackByteIdentical: a remote experiment's renderings are
+// byte-identical to the local registry run's, for a static table and
+// for a simulated sweep.
+func TestExpLoopbackByteIdentical(t *testing.T) {
+	s := newTestServer(t, 0, 0)
+	c := dialTest(t, s)
+	cases := []struct {
+		req opusnet.ExpRequestPayload
+		p   photonrail.Params
+	}{
+		{opusnet.ExpRequestPayload{Name: "table3"}, photonrail.Params{}},
+		{opusnet.ExpRequestPayload{Name: "fig8", Iterations: 1, LatenciesMS: []float64{0, 10}},
+			photonrail.Params{Iterations: 1, LatenciesMS: []float64{0, 10}}},
+	}
+	for _, tc := range cases {
+		run, err := c.RunExperiment(context.Background(), tc.req, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.req.Name, err)
+		}
+		text, csv, rows := localRendering(t, tc.req.Name, tc.p)
+		if run.Rendered != text {
+			t.Errorf("%s: text rendering diverged:\n got: %q\nwant: %q", tc.req.Name, run.Rendered, text)
+		}
+		if run.RenderedCSV != csv {
+			t.Errorf("%s: CSV rendering diverged", tc.req.Name)
+		}
+		if run.RowsJSON != rows {
+			t.Errorf("%s: JSON rows diverged:\n got: %q\nwant: %q", tc.req.Name, run.RowsJSON, rows)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpsExecuted != 2 || st.ExpsDeduped != 0 {
+		t.Fatalf("exps executed/deduped = %d/%d, want 2/0", st.ExpsExecuted, st.ExpsDeduped)
+	}
+}
+
+// TestExpGridThroughExpPath: a grid submitted via exp_req renders
+// byte-identically to the grid_req path's rows-based rendering.
+func TestExpGridThroughExpPath(t *testing.T) {
+	spec := scenario.SpecOf(scenario.Grid{
+		Name:        "exp-grid",
+		LatenciesMS: []float64{5},
+		Iterations:  1,
+	})
+	s := newTestServer(t, 0, 0)
+	c := dialTest(t, s)
+	run, err := c.RunExperiment(context.Background(),
+		opusnet.ExpRequestPayload{Name: "grid", Grid: &spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Grid != "exp-grid" {
+		t.Errorf("grid name = %q", run.Grid)
+	}
+	legacy, err := c.RunGrid(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RowsJSON is the indented {"grid","cells"} document; spot-check the
+	// grid name and a stable cell name rather than comparing compact vs
+	// indented JSON forms.
+	if !strings.Contains(run.RowsJSON, "\"grid\": \"exp-grid\"") {
+		t.Errorf("RowsJSON = %.120q, want the {\"grid\",\"cells\"} document", run.RowsJSON)
+	}
+	if len(legacy.Rows) == 0 || !strings.Contains(run.RowsJSON, legacy.Rows[0].Cell) {
+		t.Errorf("RowsJSON missing cell %q", legacy.Rows[0].Cell)
+	}
+	if !strings.Contains(run.Rendered, "cells:") {
+		t.Errorf("Rendered = %.120q, want the table + footer", run.Rendered)
+	}
+}
+
+// TestExpCancelStopsOnlyRequester is the daemon cancellation contract:
+// two clients join one in-flight experiment; one cancels. The cancelled
+// client gets its error promptly; the other still gets the full result;
+// exactly one execution ran.
+func TestExpCancelStopsOnlyRequester(t *testing.T) {
+	s := newTestServer(t, 0, 0)
+	gate := make(chan struct{})
+	s.setExecGate(gate)
+	c1 := dialTest(t, s)
+	c2 := dialTest(t, s)
+	req := opusnet.ExpRequestPayload{Name: "fig8", Iterations: 1, LatenciesMS: []float64{0, 10}}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	type outcome struct {
+		run *ExpRun
+		err error
+	}
+	res1 := make(chan outcome, 1)
+	res2 := make(chan outcome, 1)
+	go func() {
+		run, err := c1.RunExperiment(ctx1, req, nil)
+		res1 <- outcome{run, err}
+	}()
+	// Wait until the first request is registered, then join the second.
+	cs := dialTest(t, s)
+	waitStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.ExpsExecuted == 1 })
+	go func() {
+		run, err := c2.RunExperiment(context.Background(), req, nil)
+		res2 <- outcome{run, err}
+	}()
+	waitStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.ExpsDeduped == 1 })
+
+	cancel1()
+	select {
+	case out := <-res1:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("cancelled client err = %v, want context.Canceled", out.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled client did not return promptly")
+	}
+
+	close(gate) // release the execution with the surviving subscriber
+	select {
+	case out := <-res2:
+		if out.err != nil {
+			t.Fatalf("surviving client err = %v (peer's cancel must not disturb it)", out.err)
+		}
+		text, _, _ := localRendering(t, "fig8", photonrail.Params{Iterations: 1, LatenciesMS: []float64{0, 10}})
+		if out.run.Rendered != text {
+			t.Errorf("surviving client rendering diverged")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("surviving client never got its result")
+	}
+	st, err := cs.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpsExecuted != 1 || st.ExpsDeduped != 1 {
+		t.Fatalf("exps executed/deduped = %d/%d, want 1/1", st.ExpsExecuted, st.ExpsDeduped)
+	}
+}
+
+// TestExpDeadline: a request whose TimeoutMS elapses while the
+// execution is gated fails with a deadline error — and the connection
+// stays usable.
+func TestExpDeadline(t *testing.T) {
+	s := newTestServer(t, 0, 0)
+	gate := make(chan struct{})
+	s.setExecGate(gate)
+	c := dialTest(t, s)
+	_, err := c.RunExperiment(context.Background(),
+		opusnet.ExpRequestPayload{Name: "table1", TimeoutMS: 50}, nil)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("deadline err = %v", err)
+	}
+	close(gate)
+	s.setExecGate(nil)
+	// The connection survives; an ungated rerun succeeds.
+	run, err := c.RunExperiment(context.Background(), opusnet.ExpRequestPayload{Name: "table1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(run.Rendered, "Table 1") {
+		t.Errorf("rendered = %.80q", run.Rendered)
+	}
+}
+
+// TestExpRejectsBadRequests: unknown names, grids on non-grid
+// experiments, and oversized grids are refused without executing.
+func TestExpRejectsBadRequests(t *testing.T) {
+	s := newTestServer(t, 1, 0)
+	c := dialTest(t, s)
+	if _, err := c.RunExperiment(context.Background(),
+		opusnet.ExpRequestPayload{Name: "fig99"}, nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment err = %v", err)
+	}
+	spec := scenario.SpecOf(scenario.Grid{Name: "g"})
+	if _, err := c.RunExperiment(context.Background(),
+		opusnet.ExpRequestPayload{Name: "table1", Grid: &spec}, nil); err == nil ||
+		!strings.Contains(err.Error(), "does not take a grid") {
+		t.Errorf("grid-on-table err = %v", err)
+	}
+	bomb := scenario.SpecOf(scenario.Grid{
+		Name:         "bomb",
+		Parallelisms: make([]scenario.Parallelism, 50_000),
+		LatenciesMS:  make([]float64, 50_000),
+		Fabrics:      []scenario.FabricKind{scenario.Photonic},
+	})
+	if _, err := c.RunExperiment(context.Background(),
+		opusnet.ExpRequestPayload{Name: "grid", Grid: &bomb}, nil); err == nil ||
+		!strings.Contains(err.Error(), "request cap") {
+		t.Errorf("oversized grid err = %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpsExecuted != 0 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want zero executions for rejected requests", st)
+	}
+}
+
+// TestExpProgressStreams: a grid experiment through the exp path
+// streams monotonic progress ticks.
+func TestExpProgressStreams(t *testing.T) {
+	spec := scenario.SpecOf(scenario.Grid{
+		Name:        "prog",
+		LatenciesMS: []float64{5},
+		Iterations:  1,
+	})
+	s := newTestServer(t, 0, 0)
+	c := dialTest(t, s)
+	var mu sync.Mutex
+	var ticks []int
+	_, err := c.RunExperiment(context.Background(),
+		opusnet.ExpRequestPayload{Name: "grid", Grid: &spec},
+		func(done, total int) {
+			mu.Lock()
+			ticks = append(ticks, done)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ticks) == 0 {
+		t.Fatal("no progress frames")
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+}
+
+func waitStats(t *testing.T, c *Client, cond func(opusnet.CacheStatsPayload) bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cond(st) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats condition never met: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRunGridCtxTimeout: the legacy grid path's client-side deadline —
+// a gated execution makes the call block, the context expiry abandons
+// it promptly, and the connection stays usable.
+func TestRunGridCtxTimeout(t *testing.T) {
+	spec := scenario.SpecOf(scenario.Grid{Name: "slow", LatenciesMS: []float64{5}, Iterations: 1})
+	s := newTestServer(t, 0, 0)
+	gate := make(chan struct{})
+	s.setExecGate(gate)
+	c := dialTest(t, s)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.RunGridCtx(ctx, spec, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("RunGridCtx took %v after expiry", d)
+	}
+	close(gate)
+	s.setExecGate(nil)
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("connection unusable after timeout: %v", err)
+	}
+}

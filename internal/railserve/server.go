@@ -1,32 +1,41 @@
-// Package railserve is the sweep-serving daemon behind cmd/raild: a
-// long-running TCP service that executes scenario grids for remote
-// clients over the opusnet framed protocol. Where every one-shot CLI
-// run rebuilds the memo cache from scratch, the daemon keeps one
-// engine — and its simulation cache — warm across requests, shards each
-// grid's cells across the engine's worker pool, and streams per-cell
-// progress frames back so clients render live progress.
+// Package railserve is the experiment-serving daemon behind cmd/raild:
+// a long-running TCP service that executes any experiment in the
+// photonrail registry — figure sweeps, window analyses, cost tables,
+// scenario grids — for remote clients over the opusnet framed
+// protocol. Where every one-shot CLI run rebuilds the memo cache from
+// scratch, the daemon keeps one engine — and its simulation cache —
+// warm across requests, shards each request's jobs across the engine's
+// worker pool, and streams progress frames back so clients render live
+// progress.
 //
 // Two layers of deduplication serve concurrent clients:
 //
-//   - request-level singleflight: identical in-flight grid requests
-//     (keyed on the resolved grid) coalesce onto one execution, with
-//     progress and results fanned out to every subscriber;
-//   - simulation-level memoization: distinct grids sharing cells (or
-//     electrical baselines) reuse the engine's cached simulations.
+//   - request-level singleflight: identical in-flight requests (keyed
+//     on the resolved grid or the experiment name + parameters)
+//     coalesce onto one execution, with progress and results fanned
+//     out to every subscriber;
+//   - simulation-level memoization: distinct requests sharing
+//     simulations (or electrical baselines) reuse the engine's cache.
+//
+// Cancellation is first-class on the experiment path: every request
+// may carry a deadline (TimeoutMS), a client may send a cancel frame
+// referencing its request's Seq, and a dropped connection cancels its
+// requests' waits. All three stop only that request's wait — an
+// execution other clients joined keeps running for them; only when the
+// last subscriber departs is the execution's context cancelled, which
+// stops scheduling new simulation jobs (in-flight simulations land in
+// the warm cache either way). Server.Close cancels the base context,
+// so shutdown also stops abandoned executions from scheduling more
+// work.
 //
 // The engine is cost-bounded (photonrail.NewBoundedEngine), so the
 // daemon is safe to run indefinitely: cold results are evicted LRU-wise
 // instead of growing without bound.
-//
-// One known limitation: an execution whose every subscriber disconnects
-// is not cancelled — the engine has no cancellation plumbing — so it
-// runs to completion on the shared pool. Its simulations land in the
-// warm cache and serve later requests, but a stream of abandoned
-// distinct grids can still occupy workers; cancellation would need
-// context support in internal/exp.
 package railserve
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -36,6 +45,7 @@ import (
 	"photonrail"
 	"photonrail/internal/exp"
 	"photonrail/internal/opusnet"
+	"photonrail/internal/scenario"
 )
 
 // Config parameterizes NewServer.
@@ -51,21 +61,30 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Server is the sweep-serving daemon.
+// Server is the experiment-serving daemon.
 type Server struct {
 	ln     net.Listener
 	engine *photonrail.Engine
 	logf   func(format string, args ...any)
 
+	// baseCtx parents every execution and request wait; Close cancels
+	// it, so shutdown stops in-flight executions from scheduling more
+	// simulation jobs.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu       sync.Mutex
 	inflight map[string]*gridRun // resolved-grid key -> running execution
+	expRuns  map[string]*expRun  // experiment key -> running execution
 	conns    map[net.Conn]bool
 	closed   bool
 	// gridsExecuted counts grid executions actually started;
 	// gridsDeduped counts requests coalesced onto one of them. The gap
 	// between requests received and gridsExecuted is the request-level
-	// dedup win the loopback e2e test asserts on.
+	// dedup win the loopback e2e test asserts on. expsExecuted and
+	// expsDeduped are the experiment-path twins.
 	gridsExecuted, gridsDeduped uint64
+	expsExecuted, expsDeduped   uint64
 
 	// wg tracks the accept loop and connection handlers — everything
 	// Close must wait for. Grid executions and result deliveries are
@@ -143,12 +162,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		ln:       ln,
-		engine:   photonrail.NewBoundedEngine(cfg.Workers, cfg.MaxCacheCost),
-		logf:     cfg.Logf,
-		inflight: make(map[string]*gridRun),
-		conns:    make(map[net.Conn]bool),
+		ln:         ln,
+		engine:     photonrail.NewBoundedEngine(cfg.Workers, cfg.MaxCacheCost),
+		logf:       cfg.Logf,
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		inflight:   make(map[string]*gridRun),
+		expRuns:    make(map[string]*expRun),
+		conns:      make(map[net.Conn]bool),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -167,6 +190,7 @@ func (s *Server) Stats() opusnet.CacheStatsPayload {
 	st := s.engine.CacheStats()
 	s.mu.Lock()
 	executed, deduped := s.gridsExecuted, s.gridsDeduped
+	expsExecuted, expsDeduped := s.expsExecuted, s.expsDeduped
 	s.mu.Unlock()
 	return opusnet.CacheStatsPayload{
 		Hits:          st.Hits,
@@ -175,14 +199,17 @@ func (s *Server) Stats() opusnet.CacheStatsPayload {
 		InFlight:      st.InFlight,
 		GridsExecuted: executed,
 		GridsDeduped:  deduped,
+		ExpsExecuted:  expsExecuted,
+		ExpsDeduped:   expsDeduped,
 	}
 }
 
-// Close stops accepting, tears down live connections, and waits for
-// their handlers to finish. In-flight grid executions are NOT waited
-// for: their results are undeliverable once the connections are gone,
-// so they wind down on their own (or die with the process) — a SIGTERM
-// never blocks on minutes of abandoned simulation.
+// Close stops accepting, tears down live connections, cancels the base
+// context (so in-flight executions stop scheduling new simulation
+// jobs), and waits for the connection handlers to finish. Executions
+// are NOT waited for: their results are undeliverable once the
+// connections are gone, so they wind down promptly under the cancelled
+// context — a SIGTERM never blocks on minutes of abandoned simulation.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -190,6 +217,7 @@ func (s *Server) Close() error {
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
+	s.baseCancel()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -305,19 +333,86 @@ func (s *Server) handle(conn net.Conn) {
 			// Advisory progress frames are dropped silently.
 		}
 	}
+	// Per-connection cancellation registry: each outstanding exp
+	// request's waiter context is cancellable by a MsgCancel frame
+	// carrying the request's Seq; tearing the connection down cancels
+	// them all, so a dropped client stops holding executions alive.
+	cs := newConnState()
+	defer cs.teardown()
 	for {
 		msg, err := opusnet.ReadMessage(conn)
 		if err != nil {
 			return
 		}
-		s.dispatch(msg, reply)
+		s.dispatch(msg, reply, cs)
 	}
 }
 
-func (s *Server) dispatch(msg *opusnet.Message, reply func(*opusnet.Message, bool)) {
+// connState tracks a connection's cancellable request waits.
+type connState struct {
+	mu      sync.Mutex
+	cancels map[uint64]context.CancelFunc
+	closed  bool
+}
+
+func newConnState() *connState {
+	return &connState{cancels: make(map[uint64]context.CancelFunc)}
+}
+
+// register installs a request's cancel func; it reports false (without
+// installing) when the connection is already torn down.
+func (cs *connState) register(seq uint64, cancel context.CancelFunc) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closed {
+		return false
+	}
+	cs.cancels[seq] = cancel
+	return true
+}
+
+func (cs *connState) unregister(seq uint64) {
+	cs.mu.Lock()
+	delete(cs.cancels, seq)
+	cs.mu.Unlock()
+}
+
+// cancelSeq fires the cancel for one outstanding request; unknown or
+// completed Seqs are ignored (the cancel raced the result).
+func (cs *connState) cancelSeq(seq uint64) {
+	cs.mu.Lock()
+	cancel := cs.cancels[seq]
+	cs.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// teardown cancels every outstanding wait on a dying connection.
+func (cs *connState) teardown() {
+	cs.mu.Lock()
+	cs.closed = true
+	cancels := make([]context.CancelFunc, 0, len(cs.cancels))
+	for _, c := range cs.cancels {
+		cancels = append(cancels, c)
+	}
+	cs.cancels = make(map[uint64]context.CancelFunc)
+	cs.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+func (s *Server) dispatch(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *connState) {
 	switch msg.Type {
 	case opusnet.MsgGridReq:
 		s.serveGrid(msg, reply)
+	case opusnet.MsgExpReq:
+		s.serveExp(msg, reply, cs)
+	case opusnet.MsgCancel:
+		// No reply: the cancelled request itself terminates with MsgErr,
+		// and a cancel that raced completion has nothing to do.
+		cs.cancelSeq(msg.Seq)
 	case opusnet.MsgStatsReq:
 		st := s.Stats()
 		reply(&opusnet.Message{Type: opusnet.MsgStatsResp, Seq: msg.Seq, Cache: &st}, true)
@@ -395,7 +490,10 @@ func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bo
 			if gate != nil {
 				<-gate // test-only hold, see execGate
 			}
-			run.res, run.err = s.engine.RunGridProgress(grid, run.broadcast)
+			// Under the base context: Close stops the execution from
+			// scheduling further cells instead of abandoning it to run
+			// the grid out.
+			run.res, run.err = s.engine.RunGridProgressCtx(s.baseCtx, grid, run.broadcast)
 			s.mu.Lock()
 			delete(s.inflight, key)
 			s.mu.Unlock()
@@ -421,4 +519,228 @@ func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bo
 			Shared: shared,
 		}}, true)
 	}()
+}
+
+// expRun is one in-flight experiment execution with its subscribers.
+// waiters counts the requests currently awaiting the result; when the
+// last one departs before completion, the execution's context is
+// cancelled — the request-level mirror of the engine cache's detached
+// singleflight. waiters is guarded by the Server mutex (not r.mu), so
+// the last-departure decision and the run's removal from the inflight
+// map are atomic: a later identical request can never join a cancelled
+// run.
+type expRun struct {
+	done    chan struct{}
+	payload *opusnet.ExpResultPayload
+	err     error
+	cancel  context.CancelFunc
+	waiters int // guarded by Server.mu
+
+	mu   sync.Mutex
+	subs []func(done, total int)
+}
+
+func (r *expRun) subscribe(fn func(done, total int)) {
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}
+
+func (r *expRun) broadcast(done, total int) {
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(done, total)
+	}
+}
+
+// departExp drops one waiter from a run; the last waiter leaving
+// cancels the execution (stopping new simulation jobs from being
+// scheduled — simulations already in flight finish into the warm
+// cache) and removes it from the inflight map in the same critical
+// section, so a subsequent identical request starts a fresh execution
+// instead of inheriting a spurious cancellation error. Cancelling a
+// run that already completed is a harmless no-op.
+func (s *Server) departExp(key string, run *expRun) {
+	s.mu.Lock()
+	run.waiters--
+	last := run.waiters == 0
+	if last && s.expRuns[key] == run {
+		delete(s.expRuns, key)
+	}
+	s.mu.Unlock()
+	if last {
+		run.cancel()
+	}
+}
+
+// serveExp runs a registered photonrail experiment for one request:
+// validate, coalesce onto an identical in-flight execution or start
+// one under the server's base context, and deliver the result without
+// blocking the connection's read loop. The request's wait — not the
+// shared execution — is bounded by its TimeoutMS deadline, a MsgCancel
+// frame, and the connection's lifetime.
+func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *connState) {
+	seq := msg.Seq
+	fail := func(err error) {
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
+	}
+	req := msg.Exp
+	if req == nil {
+		fail(fmt.Errorf("railserve: experiment request without a payload"))
+		return
+	}
+	e, ok := photonrail.Lookup(req.Name)
+	if !ok {
+		// Deliberately does not echo arbitrary names at frame-limit
+		// lengths; the registry spelling list is short and fixed.
+		fail(fmt.Errorf("railserve: unknown experiment (see photonrail.Experiments; grids run via name %q)", "grid"))
+		return
+	}
+	p := photonrail.Params{
+		Iterations:       req.Iterations,
+		WindowIterations: req.WindowIterations,
+		LatenciesMS:      req.LatenciesMS,
+		Rail:             req.Rail,
+		GPUs:             req.GPUs,
+	}
+	var specKey scenario.Spec
+	if req.Grid != nil {
+		if !photonrail.IsGridExperiment(req.Name) {
+			fail(fmt.Errorf("railserve: experiment %q does not take a grid", req.Name))
+			return
+		}
+		spec := *req.Grid
+		if len(spec.Name) > maxGridName {
+			fail(fmt.Errorf("railserve: grid name of %d bytes exceeds the %d-byte limit", len(spec.Name), maxGridName))
+			return
+		}
+		grid, err := spec.Resolve()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := grid.Validate(); err != nil {
+			fail(err)
+			return
+		}
+		if cells := grid.CellCount(); cells > maxGridCells {
+			fail(fmt.Errorf("railserve: grid %q expands to %d cells, exceeding the %d-cell request cap",
+				grid.Name, cells, maxGridCells))
+			return
+		}
+		p.Grid = &spec
+		specKey = spec
+	}
+	key := exp.Key("exp", req.Name, p.Iterations, p.WindowIterations, p.LatenciesMS, p.Rail, p.GPUs, specKey)
+
+	// The request's wait: bounded by the per-request deadline, the
+	// cancel frame, the connection, and server shutdown.
+	var wctx context.Context
+	var wcancel context.CancelFunc
+	if req.TimeoutMS > 0 {
+		wctx, wcancel = context.WithTimeout(s.baseCtx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	} else {
+		wctx, wcancel = context.WithCancel(s.baseCtx)
+	}
+	if !cs.register(seq, wcancel) {
+		wcancel() // connection already torn down
+		return
+	}
+
+	s.mu.Lock()
+	gate := s.execGate
+	run, shared := s.expRuns[key]
+	if shared {
+		run.waiters++ // under s.mu, like the last-departure decision
+		s.expsDeduped++
+	} else {
+		runCtx, runCancel := context.WithCancel(s.baseCtx)
+		run = &expRun{done: make(chan struct{}), cancel: runCancel, waiters: 1}
+		s.expRuns[key] = run
+		s.expsExecuted++
+		s.mu.Unlock()
+		if s.logf != nil {
+			s.logf("railserve: experiment %q: executing", req.Name)
+		}
+		s.execWG.Add(1)
+		go func() {
+			defer s.execWG.Done()
+			if gate != nil {
+				<-gate // test-only hold, see execGate
+			}
+			params := p
+			params.OnProgress = run.broadcast
+			res, err := e.Run(runCtx, s.engine, params)
+			if err == nil {
+				run.payload, err = renderExpPayload(req.Name, res)
+			}
+			run.err = err
+			s.mu.Lock()
+			// departExp may already have removed (or a fresh run may
+			// have replaced) this key; only delete our own entry.
+			if s.expRuns[key] == run {
+				delete(s.expRuns, key)
+			}
+			s.mu.Unlock()
+			runCancel()
+			close(run.done)
+		}()
+		goto deliver
+	}
+	s.mu.Unlock()
+	if s.logf != nil {
+		s.logf("railserve: experiment %q: joined in-flight execution", req.Name)
+	}
+
+deliver:
+	run.subscribe(func(done, total int) {
+		reply(&opusnet.Message{Type: opusnet.MsgExpProgress, Seq: seq,
+			Progress: &opusnet.GridProgress{Done: done, Total: total}}, false)
+	})
+	s.execWG.Add(1)
+	go func() {
+		defer s.execWG.Done()
+		defer cs.unregister(seq)
+		defer wcancel()
+		select {
+		case <-run.done:
+			if run.err != nil {
+				fail(run.err)
+				return
+			}
+			payload := *run.payload
+			payload.Shared = shared
+			reply(&opusnet.Message{Type: opusnet.MsgExpResult, Seq: seq, ExpResult: &payload}, true)
+		case <-wctx.Done():
+			// Only this request's wait ends: the shared execution keeps
+			// running for its other subscribers (and is cancelled only
+			// if this was the last one).
+			s.departExp(key, run)
+			fail(fmt.Errorf("railserve: experiment %q: %w", req.Name, wctx.Err()))
+		}
+	}()
+}
+
+// renderExpPayload renders a completed experiment once, server-side,
+// into the exact bytes each client output format prints.
+func renderExpPayload(name string, res *photonrail.ExperimentResult) (*opusnet.ExpResultPayload, error) {
+	var text, csv, rows bytes.Buffer
+	if err := res.RenderText(&text); err != nil {
+		return nil, err
+	}
+	if err := res.RenderCSV(&csv); err != nil {
+		return nil, err
+	}
+	if err := res.RenderJSON(&rows); err != nil {
+		return nil, err
+	}
+	return &opusnet.ExpResultPayload{
+		Name:        name,
+		Grid:        res.Grid,
+		Rendered:    text.String(),
+		RenderedCSV: csv.String(),
+		RowsJSON:    rows.String(),
+	}, nil
 }

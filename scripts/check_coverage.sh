@@ -17,12 +17,12 @@ out="${1:-coverage.txt}"
 floors="
 photonrail 85
 photonrail/cmd/opusim 25
-photonrail/cmd/railclient 65
+photonrail/cmd/railclient 70
 photonrail/cmd/railcost 70
 photonrail/cmd/raild 55
 photonrail/cmd/railgrid 60
-photonrail/cmd/railsweep 50
-photonrail/cmd/railwindows 65
+photonrail/cmd/railsweep 60
+photonrail/cmd/railwindows 70
 photonrail/internal/collective 90
 photonrail/internal/cost 90
 photonrail/internal/exp 90
@@ -32,9 +32,9 @@ photonrail/internal/model 80
 photonrail/internal/netsim 87
 photonrail/internal/ocs 90
 photonrail/internal/opus 84
-photonrail/internal/opusnet 80
+photonrail/internal/opusnet 82
 photonrail/internal/parallelism 90
-photonrail/internal/railserve 75
+photonrail/internal/railserve 80
 photonrail/internal/report 95
 photonrail/internal/scenario 93
 photonrail/internal/sim 88

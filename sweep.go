@@ -1,6 +1,7 @@
 package photonrail
 
 import (
+	"context"
 	"fmt"
 
 	"photonrail/internal/exp"
@@ -45,14 +46,23 @@ func SweepReconfigLatency(w Workload, latenciesMS []float64) ([]SweepPoint, erro
 // same semantics, with fan-out bounded by the engine's worker count and
 // results shared through its cache.
 func (en *Engine) SweepReconfigLatency(w Workload, latenciesMS []float64) ([]SweepPoint, error) {
+	return en.SweepReconfigLatencyCtx(context.Background(), w, latenciesMS)
+}
+
+// SweepReconfigLatencyCtx is SweepReconfigLatency under a context: a
+// cancelled ctx stops scheduling latency points and returns ctx.Err()
+// promptly, and the first point error stops the remaining points
+// (fail-fast). Simulations other callers share are never killed by this
+// caller's cancellation — see SimulateCtx.
+func (en *Engine) SweepReconfigLatencyCtx(ctx context.Context, w Workload, latenciesMS []float64) ([]SweepPoint, error) {
 	if len(latenciesMS) == 0 {
 		latenciesMS = PaperLatenciesMS()
 	}
-	return exp.Map(en.pool, len(latenciesMS), func(i int) (SweepPoint, error) {
+	return exp.MapCtx(ctx, en.pool, len(latenciesMS), func(ctx context.Context, i int) (SweepPoint, error) {
 		lat := latenciesMS[i]
 		// Every point fetches the baseline through the cache: the first
 		// request simulates it, the rest share the result.
-		base, err := en.Simulate(w, Fabric{Kind: ElectricalRail})
+		base, err := en.SimulateCtx(ctx, w, Fabric{Kind: ElectricalRail})
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("photonrail: baseline: %w", err)
 		}
@@ -60,11 +70,11 @@ func (en *Engine) SweepReconfigLatency(w Workload, latenciesMS []float64) ([]Swe
 		if baseIter <= 0 {
 			return SweepPoint{}, fmt.Errorf("photonrail: degenerate baseline iteration time")
 		}
-		reactive, err := en.Simulate(w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: lat})
+		reactive, err := en.SimulateCtx(ctx, w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: lat})
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("photonrail: latency %vms reactive: %w", lat, err)
 		}
-		provisioned, err := en.provisionedStable(w, lat)
+		provisioned, err := en.provisionedStableCtx(ctx, w, lat)
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("photonrail: latency %vms provisioned: %w", lat, err)
 		}

@@ -1,6 +1,7 @@
 package photonrail
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -95,11 +96,17 @@ func CostComparison() ([]cost.Fig7Row, error) {
 
 // CostComparison is the engine form of the package-level function.
 func (en *Engine) CostComparison() ([]cost.Fig7Row, error) {
+	return en.CostComparisonCtx(context.Background())
+}
+
+// CostComparisonCtx is CostComparison under a context: cancellation
+// stops scheduling cluster sizes and returns ctx.Err() promptly.
+func (en *Engine) CostComparisonCtx(ctx context.Context) ([]cost.Fig7Row, error) {
 	sizes := cost.PaperSizes()
 	cat := cost.DefaultCatalog()
-	return exp.Map(en.pool, len(sizes), func(i int) (cost.Fig7Row, error) {
-		return exp.Cached(en.pool, exp.Key("fig7-row", sizes[i], topo.DGXH200GPUsPerNode, cat),
-			func() (cost.Fig7Row, error) {
+	return exp.MapCtx(ctx, en.pool, len(sizes), func(ctx context.Context, i int) (cost.Fig7Row, error) {
+		return exp.CachedCtx(ctx, en.pool, exp.Key("fig7-row", sizes[i], topo.DGXH200GPUsPerNode, cat),
+			func(context.Context) (cost.Fig7Row, error) {
 				rows, err := cost.Fig7([]int{sizes[i]}, topo.DGXH200GPUsPerNode, cat)
 				if err != nil {
 					return cost.Fig7Row{}, err

@@ -1,6 +1,7 @@
 package photonrail
 
 import (
+	"context"
 	"fmt"
 
 	"photonrail/internal/metrics"
@@ -51,10 +52,17 @@ func AnalyzeWindows(w Workload) (*WindowReport, error) {
 // recomputed and each report gets its own copy of the trace, so
 // callers may freely mutate the report without corrupting the cache.
 func (en *Engine) AnalyzeWindows(w Workload) (*WindowReport, error) {
+	return en.AnalyzeWindowsCtx(context.Background(), w)
+}
+
+// AnalyzeWindowsCtx is AnalyzeWindows under a context: a cancelled
+// caller returns ctx.Err() promptly, while a traced simulation shared
+// with other callers keeps running for them (see SimulateCtx).
+func (en *Engine) AnalyzeWindowsCtx(ctx context.Context, w Workload) (*WindowReport, error) {
 	if w.Iterations < 1 {
 		return nil, fmt.Errorf("photonrail: need at least one iteration")
 	}
-	inner, err := en.simulateTraced(w)
+	inner, err := en.simulateTracedCtx(ctx, w)
 	if err != nil {
 		return nil, err
 	}
