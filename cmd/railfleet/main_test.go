@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while run() writes to it
+// from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunServesUntilStopped(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	var out, errb syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		// Backends are dialed lazily, so a coordinator starts fine
+		// before its fleet does.
+		done <- run([]string{"-addr", "127.0.0.1:0", "-backends", "127.0.0.1:1,127.0.0.1:2"}, &out, &errb, stop)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "listening on") {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never reported listening; stderr: %s", errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "2 backends") {
+		t.Errorf("startup line = %q", out.String())
+	}
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},                   // no backends
+		{"-backends", " , "}, // empty backend list
+		{"-backends", "h:1", "-inflight", "0"},
+		{"-backends", "h:1", "-addr", "not:an:addr:at:all"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		stop := make(chan os.Signal)
+		if err := run(args, &out, &errb, stop); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -581,7 +581,16 @@ func runGrid(ctx context.Context, en *Engine, g Grid, onCell func(done, total in
 	if err != nil {
 		return nil, err
 	}
-	rows := res.Rows()
+	return GridExperimentResult(g.Name, res.Rows()), nil
+}
+
+// GridExperimentResult shapes executed grid rows as the grid
+// experiment's result: the aligned table plus the ok/skip footer, the
+// fully numeric CSV table, and the {"grid","cells"} JSON document.
+// Rows are all a renderer needs, so a fleet coordinator that merged
+// rows from several daemons renders them byte-identically to a
+// single-daemon (or local) run.
+func GridExperimentResult(name string, rows []scenario.Row) *ExperimentResult {
 	skipped := 0
 	for _, row := range rows {
 		if row.Status == "skip" {
@@ -589,14 +598,14 @@ func runGrid(ctx context.Context, en *Engine, g Grid, onCell func(done, total in
 		}
 	}
 	return &ExperimentResult{
-		Grid: g.Name,
+		Grid: name,
 		Sections: []Section{
-			{Table: scenario.TableFromRows(g.Name, rows)},
+			{Table: scenario.TableFromRows(name, rows)},
 			{Text: fmt.Sprintf("\n%d cells: %d ok, %d skipped\n", len(rows), len(rows)-skipped, skipped)},
 		},
 		CSVSections: []Section{{Table: scenario.CSVTableFromRows(rows)}},
-		Rows:        GridRows{Grid: g.Name, Cells: rows},
-	}, nil
+		Rows:        GridRows{Grid: name, Cells: rows},
+	}
 }
 
 // DescribeExperiments renders the registry as a human-readable listing:

@@ -105,6 +105,36 @@ func (en *Engine) RunGridProgressCtx(ctx context.Context, g Grid, onCell func(do
 	return &GridResult{Grid: g, Cells: results}, nil
 }
 
+// RunCellsCtx executes the subset of g's expanded cells selected by
+// indices; see RunCellsProgressCtx.
+func (en *Engine) RunCellsCtx(ctx context.Context, g Grid, indices []int) ([]GridCellResult, error) {
+	return en.RunCellsProgressCtx(ctx, g, indices, nil)
+}
+
+// RunCellsProgressCtx executes only the cells of g at the given
+// expansion-order indices and returns their results in indices order —
+// the partial-execution primitive a fleet coordinator shards a grid
+// into. Each cell simulates exactly as it would inside RunGrid (same
+// memo cache, same electrical-baseline normalization, same skip
+// reporting), so the rows a fleet merges from disjoint subsets are
+// byte-identical to one full local run. onCell ticks per completed
+// cell with the running count and the subset's size; cancellation and
+// fail-fast semantics match RunGridProgressCtx.
+func (en *Engine) RunCellsProgressCtx(ctx context.Context, g Grid, indices []int, onCell func(done, total int)) ([]GridCellResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.Expand()
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(cells) {
+			return nil, fmt.Errorf("photonrail: cell index %d outside grid %q (%d cells)", idx, g.Name, len(cells))
+		}
+	}
+	return exp.MapProgressCtx(ctx, en.pool, len(indices), func(ctx context.Context, i int) (GridCellResult, error) {
+		return en.runCell(ctx, cells[indices[i]])
+	}, onCell)
+}
+
 // gridWorkload compiles a cell's coordinates into the Workload the
 // engine simulates. The cluster shape is derived: the scale-up domain
 // holds TP, and DP·CP·EP·PP fills the nodes.

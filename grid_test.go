@@ -1,6 +1,7 @@
 package photonrail
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -130,5 +131,60 @@ func TestRunGridProgressHook(t *testing.T) {
 func TestRunGridRejectsMalformed(t *testing.T) {
 	if _, err := RunGrid(Grid{LatenciesMS: []float64{-3}}); err == nil {
 		t.Error("negative latency accepted")
+	}
+}
+
+// TestRunCellsSubsetMatchesFullRun: a subset execution returns exactly
+// the full run's results at those indices (so a fleet merging disjoint
+// subsets reconstructs a full run byte for byte), in indices order,
+// without re-simulating anything a prior run already cached.
+func TestRunCellsSubsetMatchesFullRun(t *testing.T) {
+	en := NewEngine(0)
+	g := smallGrid()
+	full, err := en.RunGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := en.CacheStats().Misses
+	indices := []int{5, 2, 0}
+	var ticks []int
+	got, err := en.RunCellsProgressCtx(context.Background(), g, indices, func(done, total int) {
+		if total != len(indices) {
+			t.Errorf("progress total = %d, want %d", total, len(indices))
+		}
+		ticks = append(ticks, done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(indices) {
+		t.Fatalf("results = %d, want %d", len(got), len(indices))
+	}
+	for i, idx := range indices {
+		if !reflect.DeepEqual(got[i], full.Cells[idx]) {
+			t.Errorf("subset result %d diverged from full run cell %d:\n got: %+v\nwant: %+v",
+				i, idx, got[i], full.Cells[idx])
+		}
+	}
+	if after := en.CacheStats().Misses; after != misses {
+		t.Errorf("subset run simulated %d new results on a warm cache", after-misses)
+	}
+	if len(ticks) != len(indices) || ticks[len(ticks)-1] != len(indices) {
+		t.Errorf("progress ticks = %v", ticks)
+	}
+}
+
+// TestRunCellsRejectsBadIndices: out-of-range indices are errors before
+// any simulation runs.
+func TestRunCellsRejectsBadIndices(t *testing.T) {
+	en := NewEngine(1)
+	for _, idx := range []int{-1, 6, 1 << 30} {
+		if _, err := en.RunCellsCtx(context.Background(), smallGrid(), []int{idx}); err == nil ||
+			!strings.Contains(err.Error(), "outside grid") {
+			t.Errorf("index %d error = %v", idx, err)
+		}
+	}
+	if st := en.CacheStats(); st.Misses != 0 {
+		t.Errorf("rejected subsets simulated %d results", st.Misses)
 	}
 }

@@ -1,0 +1,309 @@
+// Package faultnet is the deterministic fault-injection harness the
+// fleet tests run on: an in-process network of named endpoints served
+// by net.Pipe-backed listeners, so a whole raild fleet plus its
+// coordinator runs loopback with no real sockets, no ports, and no
+// timing dependence.
+//
+// Every connection's server→client byte stream passes through a pump
+// that parses the opusnet framing (4-byte big-endian length + body)
+// and applies the endpoint's fault script at exact frame counts:
+//
+//   - KillAfterFrames(k): once the endpoint has served k-1 frames, the
+//     k-th is withheld and every connection is severed — the backend
+//     "dies" mid-request, at a reproducible point, and later dials are
+//     refused;
+//   - DropFrame(i): frame i is silently discarded (the connection
+//     lives) — exercising advisory-frame loss;
+//   - HoldAtFrame(i) / Release(): frames from i on are withheld until
+//     Release — a deterministic stand-in for a slow backend, with no
+//     sleeps.
+//
+// Faults trigger on frame counts, not wall-clock time, so failover
+// paths are exercised reproducibly under -race.
+package faultnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxBody guards the pump against garbage lengths; it is double
+// opusnet's frame bound.
+const maxBody = 16 << 20
+
+// Network is an in-process fleet of named endpoints.
+type Network struct {
+	mu  sync.Mutex
+	eps map[string]*Endpoint
+}
+
+// New builds an empty network.
+func New() *Network {
+	return &Network{eps: make(map[string]*Endpoint)}
+}
+
+// endpoint returns (creating if needed) the named endpoint.
+func (n *Network) endpoint(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.eps[name]
+	if !ok {
+		ep = &Endpoint{
+			name:   name,
+			accept: make(chan net.Conn, 64),
+			drop:   make(map[int]bool),
+		}
+		n.eps[name] = ep
+	}
+	return ep
+}
+
+// Listen returns the named endpoint's listener; a server accepting on
+// it is reachable via Dial(name).
+func (n *Network) Listen(name string) net.Listener {
+	return &listener{ep: n.endpoint(name)}
+}
+
+// Dial connects to the named endpoint; a killed endpoint refuses.
+func (n *Network) Dial(name string) (net.Conn, error) {
+	return n.endpoint(name).dial()
+}
+
+// Endpoint exposes the named endpoint's fault controls.
+func (n *Network) Endpoint(name string) *Endpoint {
+	return n.endpoint(name)
+}
+
+// Close kills every endpoint (severing all connections) and closes
+// their listeners.
+func (n *Network) Close() {
+	n.mu.Lock()
+	eps := make([]*Endpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Kill()
+		ep.closeListener()
+	}
+}
+
+// Endpoint is one named, fault-scriptable server address.
+type Endpoint struct {
+	name string
+
+	mu      sync.Mutex
+	listen  bool // listener closed?
+	killed  bool
+	accept  chan net.Conn
+	closers []io.Closer
+
+	frames  int // server→client frames processed, across all conns
+	killAt  int
+	drop    map[int]bool
+	holdAt  int
+	release chan struct{}
+}
+
+// KillAfterFrames arms the kill switch: once the endpoint has served
+// k-1 frames, the k-th is withheld and every connection severed.
+// k <= the frames already served kills on the next frame.
+func (ep *Endpoint) KillAfterFrames(k int) {
+	ep.mu.Lock()
+	ep.killAt = k
+	ep.mu.Unlock()
+}
+
+// DropFrame discards the endpoint's i-th served frame (1-based)
+// instead of forwarding it.
+func (ep *Endpoint) DropFrame(i int) {
+	ep.mu.Lock()
+	ep.drop[i] = true
+	ep.mu.Unlock()
+}
+
+// HoldAtFrame withholds the endpoint's frames from the i-th (1-based)
+// on until Release is called.
+func (ep *Endpoint) HoldAtFrame(i int) {
+	ep.mu.Lock()
+	ep.holdAt = i
+	ep.release = make(chan struct{})
+	ep.mu.Unlock()
+}
+
+// Release lets held frames flow again.
+func (ep *Endpoint) Release() {
+	ep.mu.Lock()
+	release := ep.release
+	ep.release = nil
+	ep.holdAt = 0
+	ep.mu.Unlock()
+	if release != nil {
+		close(release)
+	}
+}
+
+// Frames reports the server→client frames processed so far.
+func (ep *Endpoint) Frames() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.frames
+}
+
+// Kill severs every live connection and refuses future dials — the
+// backend is dead. A held Release gate is opened so pump goroutines
+// wind down.
+func (ep *Endpoint) Kill() {
+	ep.mu.Lock()
+	ep.killed = true
+	closers := ep.closers
+	ep.closers = nil
+	release := ep.release
+	ep.release = nil
+	ep.mu.Unlock()
+	for _, c := range closers {
+		_ = c.Close()
+	}
+	if release != nil {
+		close(release)
+	}
+}
+
+func (ep *Endpoint) closeListener() {
+	// Closed under mu, like dial's accept-queue send, so a close can
+	// never race a send onto the closed channel.
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if !ep.listen {
+		ep.listen = true
+		close(ep.accept)
+	}
+}
+
+// dial builds the piped link: the dialer's conn and the server's conn,
+// bridged by a raw client→server pump and a frame-parsing,
+// fault-applying server→client pump.
+func (ep *Endpoint) dial() (net.Conn, error) {
+	ep.mu.Lock()
+	if ep.killed || ep.listen {
+		ep.mu.Unlock()
+		return nil, fmt.Errorf("faultnet: endpoint %q is down", ep.name)
+	}
+	cli, pumpCli := net.Pipe()
+	srv, pumpSrv := net.Pipe()
+	ep.closers = append(ep.closers, cli, pumpCli, srv, pumpSrv)
+	// The queue send stays under mu so it cannot race closeListener.
+	var full bool
+	select {
+	case ep.accept <- srv:
+	default:
+		full = true
+	}
+	ep.mu.Unlock()
+	if full {
+		for _, c := range []io.Closer{cli, pumpCli, srv, pumpSrv} {
+			_ = c.Close()
+		}
+		return nil, fmt.Errorf("faultnet: endpoint %q accept backlog full", ep.name)
+	}
+	go func() { // client→server: unfiltered
+		_, _ = io.Copy(pumpSrv, pumpCli)
+		_ = pumpSrv.Close()
+	}()
+	go ep.pumpFrames(pumpSrv, pumpCli) // server→client: fault-scripted
+	return cli, nil
+}
+
+type pumpAction int
+
+const (
+	actForward pumpAction = iota
+	actDrop
+	actHold
+	actKill
+)
+
+// frameAction advances the endpoint's frame counter and decides the
+// fate of the frame about to be forwarded.
+func (ep *Endpoint) frameAction() (pumpAction, <-chan struct{}) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.frames++
+	n := ep.frames
+	if ep.killAt > 0 && n >= ep.killAt {
+		return actKill, nil
+	}
+	if ep.drop[n] {
+		return actDrop, nil
+	}
+	if ep.holdAt > 0 && n >= ep.holdAt && ep.release != nil {
+		return actHold, ep.release
+	}
+	return actForward, nil
+}
+
+// pumpFrames copies server→client at frame granularity, applying the
+// fault script at exact frame counts.
+func (ep *Endpoint) pumpFrames(src, dst net.Conn) {
+	defer func() { _ = dst.Close() }()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(src, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size == 0 || size > maxBody {
+			return
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(src, body); err != nil {
+			return
+		}
+		act, release := ep.frameAction()
+		switch act {
+		case actKill:
+			ep.Kill()
+			return
+		case actDrop:
+			continue
+		case actHold:
+			<-release
+		}
+		if _, err := dst.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := dst.Write(body); err != nil {
+			return
+		}
+	}
+}
+
+// listener adapts an endpoint's accept queue to net.Listener.
+type listener struct {
+	ep *Endpoint
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, ok := <-l.ep.accept
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return conn, nil
+}
+
+func (l *listener) Close() error {
+	l.ep.closeListener()
+	return nil
+}
+
+func (l *listener) Addr() net.Addr { return pipeAddr(l.ep.name) }
+
+// pipeAddr names an endpoint as a net.Addr.
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "faultnet" }
+func (a pipeAddr) String() string  { return string(a) }

@@ -2,13 +2,16 @@ package gridcli
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"photonrail"
 	"photonrail/internal/scenario"
 )
 
@@ -159,5 +162,113 @@ func TestPrintCatalog(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("catalog missing %q", want)
 		}
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(time.Hour)
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("positive timeout produced no deadline")
+	}
+	cancel()
+	if ctx.Err() == nil {
+		t.Error("cancel did not cancel the deadline context")
+	}
+	ctx, cancel = WithTimeout(0)
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout produced a deadline")
+	}
+	cancel()
+	if ctx.Err() == nil {
+		t.Error("cancel did not cancel the plain context")
+	}
+}
+
+func TestRunExperiments(t *testing.T) {
+	en := photonrail.NewEngine(1)
+	var text, csv bytes.Buffer
+	if err := RunExperiments(context.Background(), en, []string{"table1", "table3"}, photonrail.Params{}, false, &text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "Table 1") || !strings.Contains(text.String(), "Table 3") {
+		t.Errorf("text output = %.120q", text.String())
+	}
+	if err := RunExperiments(context.Background(), en, []string{"table1"}, photonrail.Params{}, true, &csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), ",") {
+		t.Errorf("csv output = %.120q", csv.String())
+	}
+	if err := RunExperiments(context.Background(), en, []string{"nope"}, photonrail.Params{}, false, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "not registered") {
+		t.Errorf("unknown experiment error = %v", err)
+	}
+}
+
+func TestDefaultGridName(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	d := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	d.DefaultGridName("fig8-5d")
+	spec, _, err := d.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "fig8-5d" {
+		t.Errorf("defaulted grid = %q, want fig8-5d", spec.Name)
+	}
+	// An explicit -grid wins over the default.
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	d2 := Register(fs2)
+	if err := fs2.Parse([]string{"-grid", "fig8-5d", "-latencies", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	d2.DefaultGridName("other")
+	spec2, _, err := d2.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.Name != "fig8-5d" || !reflect.DeepEqual(spec2.LatenciesMS, []float64{7}) {
+		t.Errorf("spec = %+v", spec2)
+	}
+}
+
+func TestSweepParams(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	d := Register(fs)
+	if err := fs.Parse([]string{"-latencies", "0,10", "-iters", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.SweepParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Iterations != 3 || !reflect.DeepEqual(p.LatenciesMS, []float64{0, 10}) {
+		t.Errorf("params = %+v", p)
+	}
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	d2 := Register(fs2)
+	if err := fs2.Parse([]string{"-latencies", "zzz"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.SweepParams(); err == nil {
+		t.Error("bad latency accepted")
+	}
+}
+
+func TestCheckFormat(t *testing.T) {
+	for _, ok := range []string{"table", "csv", "json"} {
+		if err := CheckFormat(ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
+	}
+	if err := CheckFormat("yaml"); err == nil {
+		t.Error("yaml accepted")
 	}
 }

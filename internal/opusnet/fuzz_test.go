@@ -66,6 +66,22 @@ func FuzzMessageRoundTrip(f *testing.F) {
 			Name: "fig8", Grid: "", Rendered: "Fig. 8\ncol  col\n", RenderedCSV: "a,b\n1,2\n",
 			RowsJSON: "{\n  \"iterations\": 2\n}\n", Shared: true}},
 		{Type: MsgCancel, Seq: 13},
+		{Type: MsgCellsReq, Seq: 15, Cells: &CellsRequestPayload{
+			Spec:    &scenario.Spec{Name: "fig8-5d", Models: []string{"Llama3-8B"}, LatenciesMS: []float64{1, 10}},
+			Indices: []int{0, 3, 7, 41}, TimeoutMS: 30_000}},
+		{Type: MsgCellsResult, Seq: 15, CellsResult: &CellsResultPayload{
+			Name: "fig8-5d", Indices: []int{0, 3},
+			Rows: []scenario.Row{
+				{Cell: "a/b/tp4-dp2-pp2/1F1B/electrical", Status: "ok", MeanIterationSeconds: 11.5, Slowdown: 1},
+				{Cell: "a/b/tp4-dp2-pp2/1F1B/static", Status: "skip", SkipReason: "C2"},
+			},
+			Shared: true}},
+		{Type: MsgStatsResp, Seq: 16, Cache: &CacheStatsPayload{
+			Hits: 3, Misses: 2, GridsExecuted: 1, CellsExecuted: 17, CellsDeduped: 2,
+			Backends: []BackendStatsPayload{
+				{Addr: "127.0.0.1:9090", Healthy: true, Cells: 12},
+				{Addr: "127.0.0.1:9091", Healthy: false, Cells: 5, Failures: 1},
+			}}},
 	}
 	for _, m := range seeds {
 		f.Add(seedFrame(f, m))
@@ -134,6 +150,15 @@ func TestGridMessagesRoundTrip(t *testing.T) {
 			RowsJSON:    "{\n  \"fractionOver1ms\": 1\n}\n",
 			Shared:      true}},
 		{Type: MsgCancel, Seq: 23},
+		{Type: MsgCellsReq, Seq: 24, Cells: &CellsRequestPayload{
+			Spec: &spec, Indices: []int{1, 2, 40}, TimeoutMS: 60_000}},
+		{Type: MsgCellsResult, Seq: 24, CellsResult: &CellsResultPayload{
+			Name: "fig8-5d", Indices: []int{1, 2, 40},
+			Rows:   []scenario.Row{{Cell: "c1", Status: "ok", Slowdown: 1.5}, {Cell: "c2", Status: "skip", SkipReason: "EP"}, {Cell: "c40", Status: "ok"}},
+			Shared: true}},
+		{Type: MsgStatsResp, Seq: 25, Cache: &CacheStatsPayload{
+			CellsExecuted: 9, CellsDeduped: 1,
+			Backends: []BackendStatsPayload{{Addr: "b0", Healthy: true, Cells: 9, Failures: 2}}}},
 	}
 	var buf bytes.Buffer
 	for _, m := range msgs {

@@ -80,6 +80,17 @@ const (
 	// execution other requests joined keeps running for them. Unknown or
 	// already-completed Seqs are ignored; MsgCancel itself has no reply.
 	MsgCancel MsgType = "cancel"
+
+	// MsgCellsReq submits a *subset* of a scenario grid's cells for
+	// execution — the fleet coordinator's fan-out frame: the coordinator
+	// expands a grid once, shards the expansion-order cell indices
+	// across backend daemons, and sends each backend one cells_req per
+	// batch. Cells carries the grid spec and the indices.
+	MsgCellsReq MsgType = "cells_req"
+	// MsgCellsResult carries the executed subset's rows, in the order
+	// the request's indices listed them. Progress for a running subset
+	// streams as MsgGridProgress frames (done/total over the subset).
+	MsgCellsResult MsgType = "cells_result"
 )
 
 // Message is the single wire envelope.
@@ -113,6 +124,48 @@ type Message struct {
 	Exp *ExpRequestPayload `json:"exp,omitempty"`
 	// ExpResult carries a completed experiment (MsgExpResult).
 	ExpResult *ExpResultPayload `json:"expResult,omitempty"`
+	// Cells declares a requested cell subset (MsgCellsReq).
+	Cells *CellsRequestPayload `json:"cells,omitempty"`
+	// CellsResult carries an executed cell subset (MsgCellsResult).
+	CellsResult *CellsResultPayload `json:"cellsResult,omitempty"`
+}
+
+// CellsRequestPayload asks a daemon to execute the subset of a grid's
+// cells named by expansion-order indices — the partial-execution unit
+// a fleet coordinator shards a grid into. Indices must be in-range,
+// duplicate-free positions of the resolved grid's expansion.
+type CellsRequestPayload struct {
+	// Spec is the grid whose expansion the indices select from.
+	Spec *scenario.Spec `json:"spec"`
+	// Indices are expansion-order cell positions to execute.
+	Indices []int `json:"indices"`
+	// TimeoutMS, when positive, bounds this request's wait server-side,
+	// exactly like ExpRequestPayload.TimeoutMS.
+	TimeoutMS int64 `json:"timeoutMS,omitempty"`
+}
+
+// CellsResultPayload is one executed cell subset in wire form.
+type CellsResultPayload struct {
+	// Name is the resolved grid's name.
+	Name string `json:"name"`
+	// Indices echo the request's cell positions.
+	Indices []int `json:"indices"`
+	// Rows are the executed cells, ordered as Indices listed them.
+	Rows []scenario.Row `json:"rows"`
+	// Shared reports the request was coalesced onto an identical
+	// in-flight subset request (request-level singleflight).
+	Shared bool `json:"shared,omitempty"`
+}
+
+// BackendStatsPayload is one fleet backend's health as the coordinator
+// sees it: whether its last contact succeeded, how many cells it has
+// executed for the coordinator, and how many times it failed mid-request
+// (each failure re-shards its cells to the survivors).
+type BackendStatsPayload struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Cells    uint64 `json:"cells"`
+	Failures uint64 `json:"failures"`
 }
 
 // ExpRequestPayload names a registered photonrail experiment and its
@@ -173,8 +226,10 @@ type GridResultPayload struct {
 }
 
 // CacheStatsPayload mirrors the daemon's engine and serving telemetry
-// over the wire: the memo-cache counters plus the request-level grid
-// and experiment dedup counters.
+// over the wire: the memo-cache counters plus the request-level grid,
+// experiment, and cell-subset dedup counters. A fleet coordinator's
+// stats additionally carry per-backend health (Backends) with the
+// cache counters summed across the backends it could reach.
 type CacheStatsPayload struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
@@ -184,6 +239,14 @@ type CacheStatsPayload struct {
 	GridsDeduped  uint64 `json:"gridsDeduped"`
 	ExpsExecuted  uint64 `json:"expsExecuted,omitempty"`
 	ExpsDeduped   uint64 `json:"expsDeduped,omitempty"`
+	// CellsExecuted counts cells executed through the cells_req subset
+	// path; CellsDeduped counts subset requests coalesced onto an
+	// identical in-flight one.
+	CellsExecuted uint64 `json:"cellsExecuted,omitempty"`
+	CellsDeduped  uint64 `json:"cellsDeduped,omitempty"`
+	// Backends is the fleet coordinator's per-backend health view
+	// (absent on a single daemon's stats).
+	Backends []BackendStatsPayload `json:"backends,omitempty"`
 }
 
 // StatsPayload mirrors opus.Stats over the wire.

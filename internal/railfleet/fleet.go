@@ -1,0 +1,297 @@
+package railfleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"photonrail/internal/opusnet"
+	"photonrail/internal/railserve"
+	"photonrail/internal/scenario"
+)
+
+// backend is one raild daemon the coordinator shards cells onto.
+type backend struct {
+	index int
+	addr  string
+	dial  func(addr string) (net.Conn, error)
+
+	mu       sync.Mutex
+	client   *railserve.Client
+	closed   bool // coordinator shut down: no more dials
+	healthy  bool
+	cells    uint64
+	failures uint64
+}
+
+// get returns the backend's client, dialing if none is connected. A
+// failed dial marks the backend unhealthy; the next request re-probes
+// it, so a restarted daemon rejoins the fleet without coordinator
+// intervention. After the coordinator closes, get refuses instead of
+// re-dialing — an abandoned execution's failover wave must not leak a
+// fresh connection (and its reader goroutine) past Close.
+func (b *backend) get() (*railserve.Client, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("railfleet: coordinator closed")
+	}
+	if b.client != nil {
+		c := b.client
+		b.mu.Unlock()
+		return c, nil
+	}
+	dial, addr := b.dial, b.addr
+	b.mu.Unlock()
+	conn, err := dial(addr) // outside the lock: dials may block
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil {
+		b.healthy = false
+		return nil, err
+	}
+	if b.closed {
+		_ = conn.Close() // Close raced the dial; do not leak the conn
+		return nil, fmt.Errorf("railfleet: coordinator closed")
+	}
+	if b.client != nil {
+		_ = conn.Close() // lost a dial race; use the winner
+	} else {
+		b.client = railserve.NewClient(conn)
+		b.healthy = true
+	}
+	return b.client, nil
+}
+
+// fail records a mid-request backend failure and drops its connection
+// (closing it joins the client's reader, so no goroutine outlives the
+// failover). Requests pipelined on the same connection fail over on
+// their own — their waits end with ErrConnDown.
+func (b *backend) fail(c *railserve.Client) {
+	b.mu.Lock()
+	if c != nil && b.client == c {
+		b.client = nil
+	}
+	b.healthy = false
+	b.failures++
+	b.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+// note credits executed cells to the backend.
+func (b *backend) note(cells int) {
+	b.mu.Lock()
+	b.cells += uint64(cells)
+	b.mu.Unlock()
+}
+
+// snapshot reports the backend's health view and its live client (nil
+// when disconnected).
+func (b *backend) snapshot() (opusnet.BackendStatsPayload, *railserve.Client) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return opusnet.BackendStatsPayload{
+		Addr: b.addr, Healthy: b.healthy, Cells: b.cells, Failures: b.failures,
+	}, b.client
+}
+
+// close drops the backend's connection (joining its reader) and
+// refuses future dials.
+func (b *backend) close() {
+	b.mu.Lock()
+	b.closed = true
+	c := b.client
+	b.client = nil
+	b.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+// alive probes the non-excluded backends (dialing disconnected ones,
+// concurrently — one dead host must not stall the others behind its
+// dial timeout) and returns the fleet positions that answered, sorted.
+func (f *Coordinator) alive(excluded map[int]bool) []int {
+	var mu sync.Mutex
+	var out []int
+	var wg sync.WaitGroup
+	for _, b := range f.backends {
+		if excluded[b.index] {
+			continue
+		}
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.get(); err == nil {
+				mu.Lock()
+				out = append(out, b.index)
+				mu.Unlock()
+			} else if f.logf != nil {
+				f.logf("railfleet: backend %s unreachable: %v", b.addr, err)
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Ints(out)
+	return out
+}
+
+// executeGrid fans one expanded grid out across the fleet and merges
+// the partial rows back into canonical expansion order — the
+// coordinator's core. Cells shard by workload key (Assign); each
+// backend's share is submitted in batches of at most f.inFlight cells
+// (the per-backend in-flight cap). A backend that dies or errors
+// mid-grid has its unfinished cells re-sharded across the survivors on
+// the next wave; the grid fails only when no backend is left. The
+// returned rows are byte-identical to a single-daemon run, whichever
+// backends executed which cells.
+//
+// onCell receives aggregated monotonic progress over the whole grid:
+// committed cells (rows landed) plus live in-batch ticks, never
+// exceeding the total — a failed batch's ticks are discarded along
+// with its re-executed cells.
+func (f *Coordinator) executeGrid(ctx context.Context, spec scenario.Spec, grid scenario.Grid, onCell func(done, total int)) ([]scenario.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cells := grid.Expand()
+	total := len(cells)
+	rows := make([]scenario.Row, total)
+
+	var pmu sync.Mutex
+	committed, lastEmitted, batchSeq := 0, 0, 0
+	live := make(map[int]int) // batch id -> cells done in that batch
+	emit := func() {          // pmu held
+		v := committed
+		for _, d := range live {
+			v += d
+		}
+		if v > lastEmitted {
+			lastEmitted = v
+			if onCell != nil {
+				onCell(v, total)
+			}
+		}
+	}
+
+	remaining := make([]int, total)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	// A backend that fails during THIS request is excluded from its
+	// later waves: each wave's candidate set strictly shrinks, so a
+	// backend returning a deterministic refusal (e.g. a pre-cells_req
+	// raild answering "unsupported message type") is routed around
+	// once instead of being re-dialed and re-failed forever. It is
+	// re-probed on the NEXT request, so restarts still rejoin.
+	excluded := make(map[int]bool)
+	for wave := 0; len(remaining) > 0; wave++ {
+		alive := f.alive(excluded)
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("railfleet: no live backends (%d of %d cells unexecuted)", len(remaining), total)
+		}
+		assignment := Assign(cells, remaining, alive)
+		if f.logf != nil {
+			f.logf("railfleet: grid %q wave %d: %d cells across %d backends", grid.Name, wave, len(remaining), len(assignment))
+		}
+		var wg sync.WaitGroup
+		var fmu sync.Mutex
+		var failed []int
+		for bi, idxs := range assignment {
+			b, idxs := f.backends[bi], idxs
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for start := 0; start < len(idxs); start += f.inFlight {
+					end := start + f.inFlight
+					if end > len(idxs) {
+						end = len(idxs)
+					}
+					if err := f.runBatch(ctx, b, spec, idxs[start:end], rows, &pmu, &committed, live, &batchSeq, emit); err != nil {
+						if ctx.Err() != nil {
+							return // cancelled: the wave exit reports it
+						}
+						if f.logf != nil {
+							f.logf("railfleet: backend %s failed %d cells of grid %q: %v (re-sharding)",
+								b.addr, len(idxs)-start, grid.Name, err)
+						}
+						fmu.Lock()
+						excluded[b.index] = true
+						failed = append(failed, idxs[start:]...)
+						fmu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		remaining = failed
+	}
+	return rows, nil
+}
+
+// runBatch executes one cell batch on one backend and merges its rows.
+// Any failure other than the caller's own cancellation marks the
+// backend failed (dropping its connection) so the wave loop re-shards.
+func (f *Coordinator) runBatch(ctx context.Context, b *backend, spec scenario.Spec, batch []int,
+	rows []scenario.Row, pmu *sync.Mutex, committed *int, live map[int]int, batchSeq *int, emit func()) error {
+	pmu.Lock()
+	*batchSeq++
+	id := *batchSeq
+	pmu.Unlock()
+	defer func() {
+		pmu.Lock()
+		delete(live, id)
+		pmu.Unlock()
+	}()
+
+	c, err := b.get()
+	if err != nil {
+		return err
+	}
+	// The batch — not the request — is bounded: a wedged backend's
+	// batch expires (sending it a cancel frame) and its cells re-shard,
+	// while the caller's own cancellation is still distinguished via
+	// the parent ctx.
+	bctx := ctx
+	if f.batchTimeout > 0 {
+		var bcancel context.CancelFunc
+		bctx, bcancel = context.WithTimeout(ctx, f.batchTimeout)
+		defer bcancel()
+	}
+	run, err := c.RunCellsCtx(bctx, spec, batch, 0, func(done, _ int) {
+		pmu.Lock()
+		if done > live[id] {
+			live[id] = done
+			emit()
+		}
+		pmu.Unlock()
+	})
+	if err == nil && len(run.Rows) != len(batch) {
+		err = fmt.Errorf("railfleet: backend %s returned %d rows for a %d-cell batch", b.addr, len(run.Rows), len(batch))
+	}
+	if err != nil {
+		if ctx.Err() == nil {
+			b.fail(c)
+		}
+		return err
+	}
+	for j, idx := range batch {
+		rows[idx] = run.Rows[j]
+	}
+	b.note(len(batch))
+	pmu.Lock()
+	delete(live, id)
+	*committed += len(batch)
+	emit()
+	pmu.Unlock()
+	return nil
+}

@@ -1,0 +1,663 @@
+// Package railfleet scales raild past one machine: a coordinator that
+// speaks the same opusnet protocol raild does — existing railclient
+// invocations work unchanged, pointed at it — but executes each grid
+// across a fleet of backend raild daemons.
+//
+// For every grid_req (or grid-experiment exp_req) the coordinator
+// expands the grid locally, shards the cells across the live backends
+// by canonical workload key (see WorkloadKey/Assign: all fabric
+// variants of one workload colocate, so each electrical baseline
+// simulates exactly once fleet-wide), fans the shards out as
+// cells_req batches bounded by a per-backend in-flight cap, merges the
+// partial rows back into canonical expansion order, and streams
+// aggregated grid_progress — the fleet's output is byte-identical to a
+// single daemon's.
+//
+// Failover is part of the contract: a backend that dies, times out, or
+// errors mid-grid has its unfinished cells re-sharded across the
+// survivors (wave by wave, until done or no backend is left), and a
+// failed backend is re-probed on the next request, so a restarted
+// daemon rejoins on its own. Request-level singleflight and
+// cancellation keep raild's semantics across the fan-out: identical
+// in-flight requests coalesce onto one fleet execution, a cancel frame
+// (or dropped connection, or TimeoutMS) stops only that request's
+// wait, and when the last experiment-path waiter departs the fleet
+// execution's context is cancelled — which cancels the outstanding
+// cells_req waits, sending cancel frames to the backends.
+//
+// Non-grid experiments (fig4, table1, bom, …) are proxied to one
+// backend chosen by rendezvous hash of the experiment name, failing
+// over to the next live backend on connection errors.
+package railfleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"photonrail"
+	"photonrail/internal/exp"
+	"photonrail/internal/opusnet"
+	"photonrail/internal/railserve"
+	"photonrail/internal/scenario"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+	// Listener, when non-nil, serves instead of a TCP listener on Addr
+	// (the in-process harnesses plug pipe-backed listeners in here).
+	Listener net.Listener
+	// Backends are the raild daemon addresses cells shard across; at
+	// least one is required.
+	Backends []string
+	// InFlight caps the cells one backend holds in flight per request
+	// (cells per cells_req batch); 0 means DefaultInFlight.
+	InFlight int
+	// BatchTimeout bounds one cells_req batch on one backend: a
+	// backend that is alive but wedged (socket open, no results) has
+	// its batch abandoned after this long and the cells re-sharded to
+	// the survivors — the "times out" leg of the failover contract.
+	// 0 means DefaultBatchTimeout; negative disables the bound.
+	BatchTimeout time.Duration
+	// Dial, when non-nil, replaces the TCP dialer for backend
+	// connections (the fault-injection harness routes named endpoints
+	// through here).
+	Dial func(addr string) (net.Conn, error)
+	// Logf, when non-nil, receives one line per served request and
+	// failover event.
+	Logf func(format string, args ...any)
+}
+
+// DefaultInFlight is the per-backend in-flight cell cap when Config
+// leaves it zero: small enough that a mid-grid backend death loses at
+// most one batch per backend, large enough to amortize framing.
+const DefaultInFlight = 16
+
+// DefaultBatchTimeout is the per-batch wedge bound when Config leaves
+// it zero — generous next to a batch's worst-case simulation time, so
+// it only fires on genuinely stuck backends.
+const DefaultBatchTimeout = 5 * time.Minute
+
+// Coordinator is the fleet front end.
+type Coordinator struct {
+	ln           net.Listener
+	backends     []*backend
+	inFlight     int
+	batchTimeout time.Duration
+	logf         func(format string, args ...any)
+
+	// baseCtx parents every fleet execution and request wait; Close
+	// cancels it.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*fleetRun // resolved-grid key -> in-flight fleet execution
+	conns  map[net.Conn]bool
+	closed bool
+	// Request-level counters, mirroring raild's: grid_req vs exp_req
+	// arrivals that started (or joined) a fleet execution.
+	gridsExecuted, gridsDeduped uint64
+	expsExecuted, expsDeduped   uint64
+
+	wg     sync.WaitGroup // accept loop + connection handlers
+	execWG sync.WaitGroup // fleet executions + result deliveries
+
+	// execGate, when non-nil, is received from before each fleet
+	// execution starts — the same test-only hook raild has, so the
+	// singleflight and cancellation tests hold a request in flight
+	// deterministically. Guarded by mu.
+	execGate <-chan struct{}
+}
+
+// setExecGate installs the test-only execution gate.
+func (f *Coordinator) setExecGate(gate <-chan struct{}) {
+	f.mu.Lock()
+	f.execGate = gate
+	f.mu.Unlock()
+}
+
+// New starts a coordinator for the given backends. Backends are dialed
+// lazily, on the first request that needs them, so the fleet may come
+// up in any order.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("railfleet: no backends configured")
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		addr := cfg.Addr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		if ln, err = net.Listen("tcp", addr); err != nil {
+			return nil, err
+		}
+	}
+	inFlight := cfg.InFlight
+	if inFlight <= 0 {
+		inFlight = DefaultInFlight
+	}
+	batchTimeout := cfg.BatchTimeout
+	if batchTimeout == 0 {
+		batchTimeout = DefaultBatchTimeout
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	f := &Coordinator{
+		ln:           ln,
+		inFlight:     inFlight,
+		batchTimeout: batchTimeout,
+		logf:         cfg.Logf,
+		baseCtx:      baseCtx,
+		baseCancel:   baseCancel,
+		runs:         make(map[string]*fleetRun),
+		conns:        make(map[net.Conn]bool),
+	}
+	for i, addr := range cfg.Backends {
+		f.backends = append(f.backends, &backend{index: i, addr: addr, dial: dial})
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the listen address for clients to dial.
+func (f *Coordinator) Addr() string { return f.ln.Addr().String() }
+
+// Close stops accepting, tears down live connections, cancels in-flight
+// fleet executions, closes the backend connections, and waits for the
+// connection handlers. Like raild, executions are abandoned rather than
+// waited for (Drain exists for tests).
+func (f *Coordinator) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	for conn := range f.conns {
+		_ = conn.Close()
+	}
+	f.mu.Unlock()
+	f.baseCancel()
+	err := f.ln.Close()
+	f.wg.Wait()
+	for _, b := range f.backends {
+		b.close()
+	}
+	return err
+}
+
+// Drain waits for in-flight fleet executions and result deliveries.
+func (f *Coordinator) Drain() { f.execWG.Wait() }
+
+// statsTimeout bounds one backend's stats query inside an aggregated
+// Stats call, so a wedged backend degrades the aggregate instead of
+// hanging it.
+const statsTimeout = 5 * time.Second
+
+// Stats reports the coordinator's serving telemetry: its request-level
+// counters, the per-backend health view, and the cache counters summed
+// across the backends it could reach. Backends are queried
+// concurrently under a bounded context; one that does not answer is
+// reported unhealthy rather than blocking the reply.
+func (f *Coordinator) Stats() opusnet.CacheStatsPayload {
+	f.mu.Lock()
+	out := opusnet.CacheStatsPayload{
+		GridsExecuted: f.gridsExecuted,
+		GridsDeduped:  f.gridsDeduped,
+		ExpsExecuted:  f.expsExecuted,
+		ExpsDeduped:   f.expsDeduped,
+	}
+	f.mu.Unlock()
+	ctx, cancel := context.WithTimeout(f.baseCtx, statsTimeout)
+	defer cancel()
+	snaps := make([]opusnet.BackendStatsPayload, len(f.backends))
+	var agg sync.Mutex
+	var wg sync.WaitGroup
+	for i, b := range f.backends {
+		i, b := i, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snap, c := b.snapshot()
+			if c != nil {
+				if bst, err := c.StatsCtx(ctx); err == nil {
+					agg.Lock()
+					out.Hits += bst.Hits
+					out.Misses += bst.Misses
+					out.Evictions += bst.Evictions
+					out.InFlight += bst.InFlight
+					out.CellsExecuted += bst.CellsExecuted
+					out.CellsDeduped += bst.CellsDeduped
+					agg.Unlock()
+				} else {
+					snap.Healthy = false
+				}
+			}
+			snaps[i] = snap
+		}()
+	}
+	wg.Wait()
+	out.Backends = snaps
+	return out
+}
+
+func (f *Coordinator) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			f.mu.Lock()
+			done := f.closed
+			f.mu.Unlock()
+			if done {
+				return
+			}
+			if f.logf != nil {
+				f.logf("railfleet: accept: %v", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		f.conns[conn] = true
+		f.mu.Unlock()
+		f.wg.Add(1)
+		go f.handle(conn)
+	}
+}
+
+// handle serves one client connection on opusnet's shared serving
+// skeleton — the same writer-goroutine, drop-advisory-frames,
+// close-on-wedge, cancellation-registry discipline raild uses (see
+// opusnet.ServeConn).
+func (f *Coordinator) handle(conn net.Conn) {
+	defer f.wg.Done()
+	defer func() {
+		f.mu.Lock()
+		delete(f.conns, conn)
+		f.mu.Unlock()
+		_ = conn.Close()
+	}()
+	opusnet.ServeConn(conn, f.dispatch)
+}
+
+func (f *Coordinator) dispatch(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *opusnet.ConnState) {
+	switch msg.Type {
+	case opusnet.MsgGridReq:
+		f.serveGrid(msg, reply)
+	case opusnet.MsgExpReq:
+		f.serveExp(msg, reply, cs)
+	case opusnet.MsgCancel:
+		cs.CancelSeq(msg.Seq)
+	case opusnet.MsgStatsReq:
+		seq := msg.Seq
+		f.execWG.Add(1)
+		go func() { // Stats queries backends; never block the read loop
+			defer f.execWG.Done()
+			st := f.Stats()
+			reply(&opusnet.Message{Type: opusnet.MsgStatsResp, Seq: seq, Cache: &st}, true)
+		}()
+	default:
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: msg.Seq,
+			Error: fmt.Sprintf("railfleet: unsupported message type %q", msg.Type)}, true)
+	}
+}
+
+// fleetRun is one in-flight fleet grid execution with its subscribers;
+// both request paths (grid_req and grid-experiment exp_req) coalesce
+// onto it, keyed by the resolved grid. waiters is guarded by the
+// Coordinator mutex; grid_req waiters never depart (the legacy path
+// runs to completion), experiment waiters depart on cancel/deadline —
+// the last departure cancels the fan-out, which cancels the
+// outstanding cells_req waits on the backends.
+type fleetRun struct {
+	done     chan struct{}
+	gridName string
+	rows     []scenario.Row
+	err      error
+	cancel   context.CancelFunc
+	waiters  int // guarded by Coordinator.mu
+
+	mu   sync.Mutex
+	subs []func(done, total int)
+}
+
+func (r *fleetRun) subscribe(fn func(done, total int)) {
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}
+
+func (r *fleetRun) broadcast(done, total int) {
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(done, total)
+	}
+}
+
+// joinRun coalesces onto (or starts) the fleet execution for the
+// resolved grid; started reports whether this request started it.
+func (f *Coordinator) joinRun(key string, spec scenario.Spec, grid scenario.Grid) (run *fleetRun, started bool) {
+	f.mu.Lock()
+	gate := f.execGate
+	run, shared := f.runs[key]
+	if shared {
+		run.waiters++
+		f.mu.Unlock()
+		return run, false
+	}
+	runCtx, runCancel := context.WithCancel(f.baseCtx)
+	run = &fleetRun{done: make(chan struct{}), gridName: grid.Name, cancel: runCancel, waiters: 1}
+	f.runs[key] = run
+	f.mu.Unlock()
+	f.execWG.Add(1)
+	go func() {
+		defer f.execWG.Done()
+		if gate != nil {
+			<-gate // test-only hold, see execGate
+		}
+		run.rows, run.err = f.executeGrid(runCtx, spec, grid, run.broadcast)
+		f.mu.Lock()
+		if f.runs[key] == run {
+			delete(f.runs, key)
+		}
+		f.mu.Unlock()
+		runCancel()
+		close(run.done)
+	}()
+	return run, true
+}
+
+// depart drops one waiter; the last one leaving cancels the fan-out
+// and removes the run so a later identical request starts fresh.
+func (f *Coordinator) depart(key string, run *fleetRun) {
+	f.mu.Lock()
+	run.waiters--
+	last := run.waiters == 0
+	if last && f.runs[key] == run {
+		delete(f.runs, key)
+	}
+	f.mu.Unlock()
+	if last {
+		run.cancel()
+	}
+}
+
+// serveGrid is the legacy grid path across the fleet: validate exactly
+// as one daemon would, coalesce or start the fleet execution, stream
+// aggregated progress, and deliver the merged rows. As on raild, the
+// wait is not cancellable and the execution runs to completion.
+func (f *Coordinator) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bool)) {
+	seq := msg.Seq
+	fail := func(err error) {
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
+	}
+	if msg.Spec == nil {
+		fail(fmt.Errorf("railfleet: grid request without a spec"))
+		return
+	}
+	grid, err := railserve.ValidateGridSpec(*msg.Spec)
+	if err != nil {
+		fail(err)
+		return
+	}
+	key := exp.Key("fleet", grid)
+	run, started := f.joinRun(key, *msg.Spec, grid)
+	f.mu.Lock()
+	if started {
+		f.gridsExecuted++
+	} else {
+		f.gridsDeduped++
+	}
+	f.mu.Unlock()
+	if f.logf != nil {
+		if started {
+			f.logf("railfleet: grid %q: fanning out (%d cells)", grid.Name, grid.CellCount())
+		} else {
+			f.logf("railfleet: grid %q: joined in-flight fleet execution", grid.Name)
+		}
+	}
+	run.subscribe(func(done, total int) {
+		reply(&opusnet.Message{Type: opusnet.MsgGridProgress, Seq: seq,
+			Progress: &opusnet.GridProgress{Done: done, Total: total}}, false)
+	})
+	f.execWG.Add(1)
+	go func() {
+		defer f.execWG.Done()
+		<-run.done
+		if run.err != nil {
+			fail(run.err)
+			return
+		}
+		reply(&opusnet.Message{Type: opusnet.MsgGridResult, Seq: seq, Grid: &opusnet.GridResultPayload{
+			Name:   run.gridName,
+			Rows:   run.rows,
+			Shared: !started,
+		}}, true)
+	}()
+}
+
+// serveExp serves exp_req at the coordinator: grid experiments fan out
+// across the fleet (coalescing with grid_req onto the same fleet
+// execution, rendered at the coordinator byte-identically to a raild
+// rendering); everything else is proxied to a backend.
+func (f *Coordinator) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *opusnet.ConnState) {
+	seq := msg.Seq
+	fail := func(err error) {
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
+	}
+	req := msg.Exp
+	if req == nil {
+		fail(fmt.Errorf("railfleet: experiment request without a payload"))
+		return
+	}
+	if _, ok := photonrail.Lookup(req.Name); !ok {
+		fail(fmt.Errorf("railfleet: unknown experiment (see photonrail.Experiments; grids run via name %q)", "grid"))
+		return
+	}
+	if !photonrail.IsGridExperiment(req.Name) {
+		// A grid on a non-grid experiment is rejected by the backend,
+		// exactly as a direct raild request would be.
+		f.proxyExp(msg, reply, cs)
+		return
+	}
+	// Resolve the effective grid exactly as the registry would: an
+	// explicit spec wins; a built-in grid experiment falls back to its
+	// registered grid; bare "grid" falls back to the paper-default
+	// custom grid.
+	var spec scenario.Spec
+	switch {
+	case req.Grid != nil:
+		spec = *req.Grid
+	case req.Name != "grid":
+		spec = scenario.SpecOf(scenario.Grids()[req.Name]())
+	}
+	if req.Name == "grid" && spec.Name == "" {
+		spec.Name = "custom"
+	}
+	grid, err := railserve.ValidateGridSpec(spec)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	wctx, wcancel := f.waitCtx(req.TimeoutMS)
+	if !cs.Register(seq, wcancel) {
+		wcancel()
+		return
+	}
+	key := exp.Key("fleet", grid)
+	run, started := f.joinRun(key, spec, grid)
+	f.mu.Lock()
+	if started {
+		f.expsExecuted++
+	} else {
+		f.expsDeduped++
+	}
+	f.mu.Unlock()
+	if f.logf != nil {
+		if started {
+			f.logf("railfleet: experiment %q: fanning out grid %q", req.Name, grid.Name)
+		} else {
+			f.logf("railfleet: experiment %q: joined in-flight fleet execution", req.Name)
+		}
+	}
+	run.subscribe(func(done, total int) {
+		reply(&opusnet.Message{Type: opusnet.MsgExpProgress, Seq: seq,
+			Progress: &opusnet.GridProgress{Done: done, Total: total}}, false)
+	})
+	f.execWG.Add(1)
+	go func() {
+		defer f.execWG.Done()
+		defer cs.Unregister(seq)
+		defer wcancel()
+		select {
+		case <-run.done:
+			if run.err != nil {
+				fail(run.err)
+				return
+			}
+			payload, err := renderGridPayload(req.Name, run.gridName, run.rows)
+			if err != nil {
+				fail(err)
+				return
+			}
+			payload.Shared = !started
+			reply(&opusnet.Message{Type: opusnet.MsgExpResult, Seq: seq, ExpResult: payload}, true)
+		case <-wctx.Done():
+			f.depart(key, run)
+			fail(fmt.Errorf("railfleet: experiment %q: %w", req.Name, wctx.Err()))
+		}
+	}()
+}
+
+// waitCtx bounds one request's wait under the base context.
+func (f *Coordinator) waitCtx(timeoutMS int64) (context.Context, context.CancelFunc) {
+	if timeoutMS > 0 {
+		return context.WithTimeout(f.baseCtx, time.Duration(timeoutMS)*time.Millisecond)
+	}
+	return context.WithCancel(f.baseCtx)
+}
+
+// renderGridPayload renders merged fleet rows exactly as a raild
+// daemon renders a completed grid experiment, so fleet output is
+// byte-identical to a single daemon's (and to the local CLIs').
+func renderGridPayload(expName, gridName string, rows []scenario.Row) (*opusnet.ExpResultPayload, error) {
+	res := photonrail.GridExperimentResult(gridName, rows)
+	var text, csv, rowsJSON bytes.Buffer
+	if err := res.RenderText(&text); err != nil {
+		return nil, err
+	}
+	if err := res.RenderCSV(&csv); err != nil {
+		return nil, err
+	}
+	if err := res.RenderJSON(&rowsJSON); err != nil {
+		return nil, err
+	}
+	return &opusnet.ExpResultPayload{
+		Name:        expName,
+		Grid:        gridName,
+		Rendered:    text.String(),
+		RenderedCSV: csv.String(),
+		RowsJSON:    rowsJSON.String(),
+	}, nil
+}
+
+// proxyExp forwards a non-grid experiment to one backend — chosen by
+// rendezvous hash of the experiment name so repeat requests land on
+// the same warm cache — failing over to the next live backend on
+// connection errors. Application-level refusals are returned as-is: a
+// retry elsewhere would only repeat them.
+func (f *Coordinator) proxyExp(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *opusnet.ConnState) {
+	seq := msg.Seq
+	req := *msg.Exp
+	fail := func(err error) {
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
+	}
+	wctx, wcancel := f.waitCtx(req.TimeoutMS)
+	if !cs.Register(seq, wcancel) {
+		wcancel()
+		return
+	}
+	f.mu.Lock()
+	f.expsExecuted++
+	f.mu.Unlock()
+	f.execWG.Add(1)
+	go func() {
+		defer f.execWG.Done()
+		defer cs.Unregister(seq)
+		defer wcancel()
+		order := f.proxyOrder(req.Name)
+		var lastErr error
+		for _, bi := range order {
+			b := f.backends[bi]
+			c, err := b.get()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			run, err := c.RunExperiment(wctx, req, func(done, total int) {
+				reply(&opusnet.Message{Type: opusnet.MsgExpProgress, Seq: seq,
+					Progress: &opusnet.GridProgress{Done: done, Total: total}}, false)
+			})
+			if err != nil {
+				if wctx.Err() != nil {
+					fail(fmt.Errorf("railfleet: experiment %q: %w", req.Name, wctx.Err()))
+					return
+				}
+				if errors.Is(err, railserve.ErrConnDown) {
+					if f.logf != nil {
+						f.logf("railfleet: backend %s died serving experiment %q: %v (failing over)", b.addr, req.Name, err)
+					}
+					b.fail(c)
+					lastErr = err
+					continue
+				}
+				fail(err)
+				return
+			}
+			reply(&opusnet.Message{Type: opusnet.MsgExpResult, Seq: seq, ExpResult: &opusnet.ExpResultPayload{
+				Name: run.Name, Grid: run.Grid,
+				Rendered: run.Rendered, RenderedCSV: run.RenderedCSV, RowsJSON: run.RowsJSON,
+				Shared: run.Shared,
+			}}, true)
+			return
+		}
+		fail(fmt.Errorf("railfleet: no live backend served experiment %q (last error: %v)", req.Name, lastErr))
+	}()
+}
+
+// proxyOrder ranks the fleet positions by rendezvous score for an
+// experiment name.
+func (f *Coordinator) proxyOrder(name string) []int {
+	order := make([]int, len(f.backends))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return shardScore(name, order[i]) > shardScore(name, order[j])
+	})
+	return order
+}

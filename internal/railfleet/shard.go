@@ -1,0 +1,62 @@
+package railfleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"photonrail/internal/scenario"
+)
+
+// WorkloadKey is the canonical shard key of one grid cell: every
+// coordinate that shapes the cell's simulated Workload — and therefore
+// its electrical baseline — excluding the fabric kind and latency.
+// Sharding by this key (rather than the full cell name) colocates all
+// fabric variants of one workload on one backend, so each baseline is
+// simulated exactly once fleet-wide and the fleet's total simulation
+// count equals a single daemon's (the property test pins this).
+func WorkloadKey(c scenario.Cell) string {
+	return fmt.Sprintf("%s|%s|%s|%s|j%g|e%v|%d|%d|%d",
+		c.Model.Name, c.GPU.Name, c.Par, c.Schedule, c.JitterFrac, c.EagerRS,
+		c.Microbatches, c.MicrobatchSize, c.Iterations)
+}
+
+// shardScore ranks one backend for one workload key — rendezvous
+// (highest-random-weight) hashing over the backend's position in the
+// configured fleet. Positions, not addresses, feed the hash, so the
+// assignment is reproducible across runs and listener port choices;
+// rendezvous (rather than modulo) means a dead backend's keys move to
+// survivors without reshuffling anyone else's.
+func shardScore(key string, backendIndex int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", key, backendIndex)
+	return h.Sum64()
+}
+
+// Assign shards the cells at the remaining expansion-order indices
+// across the alive backends (by fleet position): each cell goes to the
+// alive backend with the highest rendezvous score for its workload
+// key. Per-backend index lists come back in expansion order, so batch
+// results merge deterministically.
+func Assign(cells []scenario.Cell, remaining []int, alive []int) map[int][]int {
+	out := make(map[int][]int, len(alive))
+	byKey := make(map[string]int) // workload key -> chosen backend
+	sorted := append([]int(nil), remaining...)
+	sort.Ints(sorted)
+	for _, idx := range sorted {
+		key := WorkloadKey(cells[idx])
+		owner, ok := byKey[key]
+		if !ok {
+			best := uint64(0)
+			owner = -1
+			for _, bi := range alive {
+				if score := shardScore(key, bi); owner < 0 || score > best {
+					best, owner = score, bi
+				}
+			}
+			byKey[key] = owner
+		}
+		out[owner] = append(out[owner], idx)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package railfleet
+
+import (
+	"testing"
+
+	"photonrail/internal/scenario"
+)
+
+// TestAssignCoversEveryCellOnce: the shard assignment partitions the
+// remaining indices exactly — no cell lost, none duplicated — and
+// keeps per-backend lists in expansion order.
+func TestAssignCoversEveryCellOnce(t *testing.T) {
+	cells := scenario.Fig8Grid5D().Expand()
+	all := make([]int, len(cells))
+	for i := range all {
+		all[i] = i
+	}
+	assignment := Assign(cells, all, []int{0, 1, 2})
+	seen := make(map[int]int)
+	for bi, idxs := range assignment {
+		for j := 1; j < len(idxs); j++ {
+			if idxs[j] <= idxs[j-1] {
+				t.Fatalf("backend %d list not in expansion order: %v", bi, idxs)
+			}
+		}
+		for _, idx := range idxs {
+			seen[idx]++
+		}
+	}
+	for _, idx := range all {
+		if seen[idx] != 1 {
+			t.Fatalf("cell %d assigned %d times", idx, seen[idx])
+		}
+	}
+	// The acceptance distribution: every backend executes >= 1 cell of
+	// the 48-cell fig8-5d grid on a 3-backend fleet.
+	for bi := 0; bi < 3; bi++ {
+		if len(assignment[bi]) == 0 {
+			t.Errorf("backend %d received no fig8-5d cells", bi)
+		}
+	}
+}
+
+// TestAssignColocatesWorkloads: all fabric/latency variants of one
+// workload land on one backend — the no-duplicated-baselines property.
+func TestAssignColocatesWorkloads(t *testing.T) {
+	cells := scenario.Fig8Grid5D().Expand()
+	all := make([]int, len(cells))
+	for i := range all {
+		all[i] = i
+	}
+	assignment := Assign(cells, all, []int{0, 1, 2})
+	owner := make(map[string]int)
+	for bi, idxs := range assignment {
+		for _, idx := range idxs {
+			key := WorkloadKey(cells[idx])
+			if prev, ok := owner[key]; ok && prev != bi {
+				t.Fatalf("workload %q split across backends %d and %d", key, prev, bi)
+			}
+			owner[key] = bi
+		}
+	}
+}
+
+// TestAssignRendezvousStability: removing one backend moves only its
+// cells; every other assignment is untouched (the failover property —
+// survivors keep their warm caches).
+func TestAssignRendezvousStability(t *testing.T) {
+	cells := scenario.Fig8Grid5D().Expand()
+	all := make([]int, len(cells))
+	for i := range all {
+		all[i] = i
+	}
+	before := Assign(cells, all, []int{0, 1, 2})
+	for _, dead := range []int{0, 1, 2} {
+		var alive []int
+		for bi := 0; bi < 3; bi++ {
+			if bi != dead {
+				alive = append(alive, bi)
+			}
+		}
+		after := Assign(cells, all, alive)
+		for _, bi := range alive {
+			beforeSet := make(map[int]bool, len(before[bi]))
+			for _, idx := range before[bi] {
+				beforeSet[idx] = true
+			}
+			for _, idx := range before[bi] {
+				found := false
+				for _, got := range after[bi] {
+					if got == idx {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("backend %d lost cell %d when backend %d died", bi, idx, dead)
+				}
+			}
+			// Anything new on bi must have belonged to the dead backend.
+			for _, idx := range after[bi] {
+				if beforeSet[idx] {
+					continue
+				}
+				inDead := false
+				for _, d := range before[dead] {
+					if d == idx {
+						inDead = true
+						break
+					}
+				}
+				if !inDead {
+					t.Fatalf("cell %d moved to backend %d but did not belong to dead backend %d", idx, bi, dead)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package railserve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -11,11 +12,22 @@ import (
 	"photonrail/internal/scenario"
 )
 
+// ErrConnDown reports the client's connection to the daemon failed
+// before (or while awaiting) a reply. Callers that fail requests over
+// to another daemon — the fleet coordinator — test for it with
+// errors.Is to distinguish a dead backend from an application-level
+// refusal a retry elsewhere would only repeat.
+var ErrConnDown = errors.New("railserve: connection down")
+
 // Client is a connection to a raild daemon. One client may pipeline
 // several concurrent RunGrid calls on the one connection; replies are
 // correlated by sequence number.
 type Client struct {
 	conn net.Conn
+	// readDone closes when the reader goroutine exits; Close joins it,
+	// so a closed client never leaves its progress-routing reader
+	// behind (the goroutine-leak regression tests pin this).
+	readDone chan struct{}
 
 	// wmu serializes frame writes: WriteMessage issues two conn.Write
 	// calls (header, body), so concurrent pipelined requests would
@@ -42,18 +54,35 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		conn:    conn,
-		pending: make(map[uint64]*pendingCall),
-	}
-	go c.readLoop()
-	return c, nil
+	return NewClient(conn), nil
 }
 
-// Close tears the connection down; outstanding calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// NewClient wraps an established connection — the in-process harnesses
+// (and the fleet coordinator's pluggable dialer) hand pipe-backed
+// conns in here; Dial is NewClient over a TCP connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		readDone: make(chan struct{}),
+		pending:  make(map[uint64]*pendingCall),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down (outstanding calls fail) and waits
+// for the client's reader goroutine to exit, so callers that close a
+// client observe all of its goroutines gone. Do not call Close from
+// inside an onProgress callback — the reader runs those, so the join
+// would deadlock.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}
 
 func (c *Client) readLoop() {
+	defer close(c.readDone)
 	for {
 		msg, err := opusnet.ReadMessage(c.conn)
 		if err != nil {
@@ -93,7 +122,7 @@ func (c *Client) start(m *opusnet.Message, onProgress func(done, total int)) (*p
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		return nil, fmt.Errorf("railserve: connection down: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrConnDown, err)
 	}
 	c.seq++
 	m.Seq = c.seq
@@ -107,21 +136,9 @@ func (c *Client) start(m *opusnet.Message, onProgress func(done, total int)) (*p
 		c.mu.Lock()
 		delete(c.pending, m.Seq)
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrConnDown, err)
 	}
 	return p, nil
-}
-
-// await blocks for a call's final frame.
-func (p *pendingCall) await() (*opusnet.Message, error) {
-	resp, ok := <-p.result
-	if !ok {
-		return nil, fmt.Errorf("railserve: connection closed awaiting reply")
-	}
-	if resp.Type == opusnet.MsgErr {
-		return nil, fmt.Errorf("railserve: %s", resp.Error)
-	}
-	return resp, nil
 }
 
 // GridRun is one executed grid as the daemon reported it.
@@ -152,25 +169,69 @@ func (c *Client) RunGridCtx(ctx context.Context, spec scenario.Spec, onProgress 
 	if err != nil {
 		return nil, err
 	}
-	var resp *opusnet.Message
-	select {
-	case m, ok := <-p.result:
-		if !ok {
-			return nil, fmt.Errorf("railserve: connection closed awaiting reply")
-		}
-		resp = m
-	case <-ctx.Done():
-		c.sendCancel(p.seq)
-		c.forget(p.seq)
-		return nil, ctx.Err()
-	}
-	if resp.Type == opusnet.MsgErr {
-		return nil, fmt.Errorf("railserve: %s", resp.Error)
+	resp, err := p.awaitCtx(ctx, c)
+	if err != nil {
+		return nil, err
 	}
 	if resp.Type != opusnet.MsgGridResult || resp.Grid == nil {
 		return nil, fmt.Errorf("railserve: unexpected reply %q to grid request", resp.Type)
 	}
 	return &GridRun{Name: resp.Grid.Name, Rows: resp.Grid.Rows, Shared: resp.Grid.Shared}, nil
+}
+
+// awaitCtx blocks for a call's final frame, bounded by ctx: on expiry a
+// best-effort cancel frame is sent, the call abandoned locally, and
+// ctx.Err() returned promptly.
+func (p *pendingCall) awaitCtx(ctx context.Context, c *Client) (*opusnet.Message, error) {
+	select {
+	case m, ok := <-p.result:
+		if !ok {
+			return nil, fmt.Errorf("%w: connection closed awaiting reply", ErrConnDown)
+		}
+		if m.Type == opusnet.MsgErr {
+			return nil, fmt.Errorf("railserve: %s", m.Error)
+		}
+		return m, nil
+	case <-ctx.Done():
+		c.sendCancel(p.seq)
+		c.forget(p.seq)
+		return nil, ctx.Err()
+	}
+}
+
+// CellsRun is one executed cell subset as the daemon reported it.
+type CellsRun struct {
+	// Name is the resolved grid's name.
+	Name string
+	// Indices echo the requested expansion-order cell positions.
+	Indices []int
+	// Rows are the executed cells, ordered as Indices listed them.
+	Rows []scenario.Row
+	// Shared reports the daemon coalesced this request onto an identical
+	// in-flight subset request.
+	Shared bool
+}
+
+// RunCellsCtx executes the subset of the grid's expanded cells at the
+// given indices — the fleet coordinator's fan-out call. Semantics
+// mirror RunExperiment: the wait is bounded by ctx (a cancel frame is
+// sent on expiry so the daemon stops only this request's wait), and
+// onProgress receives advisory ticks over the subset.
+func (c *Client) RunCellsCtx(ctx context.Context, spec scenario.Spec, indices []int, timeout time.Duration, onProgress func(done, total int)) (*CellsRun, error) {
+	req := opusnet.CellsRequestPayload{Spec: &spec, Indices: indices, TimeoutMS: timeout.Milliseconds()}
+	p, err := c.start(&opusnet.Message{Type: opusnet.MsgCellsReq, Cells: &req}, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.awaitCtx(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != opusnet.MsgCellsResult || resp.CellsResult == nil {
+		return nil, fmt.Errorf("railserve: unexpected reply %q to cells request", resp.Type)
+	}
+	r := resp.CellsResult
+	return &CellsRun{Name: r.Name, Indices: r.Indices, Rows: r.Rows, Shared: r.Shared}, nil
 }
 
 // ExpRun is one completed experiment as the daemon reported it: the
@@ -198,22 +259,9 @@ func (c *Client) RunExperiment(ctx context.Context, req opusnet.ExpRequestPayloa
 	if err != nil {
 		return nil, err
 	}
-	var resp *opusnet.Message
-	select {
-	case m, ok := <-p.result:
-		if !ok {
-			return nil, fmt.Errorf("railserve: connection closed awaiting reply")
-		}
-		resp = m
-	case <-ctx.Done():
-		// Best-effort: tell the daemon this wait is over, then abandon
-		// the call locally (its eventual error frame is dropped).
-		c.sendCancel(p.seq)
-		c.forget(p.seq)
-		return nil, ctx.Err()
-	}
-	if resp.Type == opusnet.MsgErr {
-		return nil, fmt.Errorf("railserve: %s", resp.Error)
+	resp, err := p.awaitCtx(ctx, c)
+	if err != nil {
+		return nil, err
 	}
 	if resp.Type != opusnet.MsgExpResult || resp.ExpResult == nil {
 		return nil, fmt.Errorf("railserve: unexpected reply %q to experiment request", resp.Type)
@@ -242,11 +290,17 @@ func (c *Client) forget(seq uint64) {
 
 // Stats fetches the daemon's serving telemetry.
 func (c *Client) Stats() (opusnet.CacheStatsPayload, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by ctx — the fleet coordinator uses it so
+// one wedged backend cannot hang an aggregated stats reply.
+func (c *Client) StatsCtx(ctx context.Context) (opusnet.CacheStatsPayload, error) {
 	p, err := c.start(&opusnet.Message{Type: opusnet.MsgStatsReq}, nil)
 	if err != nil {
 		return opusnet.CacheStatsPayload{}, err
 	}
-	resp, err := p.await()
+	resp, err := p.awaitCtx(ctx, c)
 	if err != nil {
 		return opusnet.CacheStatsPayload{}, err
 	}

@@ -11,13 +11,19 @@
 // Two layers of deduplication serve concurrent clients:
 //
 //   - request-level singleflight: identical in-flight requests (keyed
-//     on the resolved grid or the experiment name + parameters)
-//     coalesce onto one execution, with progress and results fanned
-//     out to every subscriber;
+//     on the resolved grid, the experiment name + parameters, or the
+//     grid + index list of a cell subset) coalesce onto one execution,
+//     with progress and results fanned out to every subscriber;
 //   - simulation-level memoization: distinct requests sharing
 //     simulations (or electrical baselines) reuse the engine's cache.
 //
-// Cancellation is first-class on the experiment path: every request
+// Beyond whole grids and registry experiments, the daemon executes
+// cell *subsets* (cells_req: a grid spec plus expansion-order indices)
+// — the partial-execution unit internal/railfleet shards a grid into
+// when fanning it out across a fleet of these daemons.
+//
+// Cancellation is first-class on the experiment and cell-subset paths:
+// every request
 // may carry a deadline (TimeoutMS), a client may send a cancel frame
 // referencing its request's Seq, and a dropped connection cancels its
 // requests' waits. All three stop only that request's wait — an
@@ -52,6 +58,10 @@ import (
 type Config struct {
 	// Addr is the TCP listen address; empty means "127.0.0.1:0".
 	Addr string
+	// Listener, when non-nil, serves instead of a fresh TCP listener on
+	// Addr — the in-process loopback and fault-injection test harnesses
+	// plug pipe-backed listeners in here.
+	Listener net.Listener
 	// Workers is the engine worker-pool size (0 = NumCPU).
 	Workers int
 	// MaxCacheCost bounds the engine's memo cache in simulation units
@@ -75,16 +85,20 @@ type Server struct {
 
 	mu       sync.Mutex
 	inflight map[string]*gridRun // resolved-grid key -> running execution
-	expRuns  map[string]*expRun  // experiment key -> running execution
+	runs     map[string]*waitRun // experiment/cell-subset key -> running execution
 	conns    map[net.Conn]bool
 	closed   bool
 	// gridsExecuted counts grid executions actually started;
 	// gridsDeduped counts requests coalesced onto one of them. The gap
 	// between requests received and gridsExecuted is the request-level
 	// dedup win the loopback e2e test asserts on. expsExecuted and
-	// expsDeduped are the experiment-path twins.
+	// expsDeduped are the experiment-path twins; cellsExecuted counts
+	// CELLS executed through the subset path (the fleet distribution
+	// tests assert every backend got some), cellsDeduped coalesced
+	// subset requests.
 	gridsExecuted, gridsDeduped uint64
 	expsExecuted, expsDeduped   uint64
+	cellsExecuted, cellsDeduped uint64
 
 	// wg tracks the accept loop and connection handlers — everything
 	// Close must wait for. Grid executions and result deliveries are
@@ -152,15 +166,19 @@ func (r *gridRun) broadcast(done, total int) {
 	}
 }
 
-// NewServer starts the daemon listening on cfg.Addr. Close stops it.
+// NewServer starts the daemon listening on cfg.Listener (when set) or
+// a fresh TCP listener on cfg.Addr. Close stops it.
 func NewServer(cfg Config) (*Server, error) {
-	addr := cfg.Addr
-	if addr == "" {
-		addr = "127.0.0.1:0"
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
+	ln := cfg.Listener
+	if ln == nil {
+		addr := cfg.Addr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		if ln, err = net.Listen("tcp", addr); err != nil {
+			return nil, err
+		}
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -170,7 +188,7 @@ func NewServer(cfg Config) (*Server, error) {
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		inflight:   make(map[string]*gridRun),
-		expRuns:    make(map[string]*expRun),
+		runs:       make(map[string]*waitRun),
 		conns:      make(map[net.Conn]bool),
 	}
 	s.wg.Add(1)
@@ -191,6 +209,7 @@ func (s *Server) Stats() opusnet.CacheStatsPayload {
 	s.mu.Lock()
 	executed, deduped := s.gridsExecuted, s.gridsDeduped
 	expsExecuted, expsDeduped := s.expsExecuted, s.expsDeduped
+	cellsExecuted, cellsDeduped := s.cellsExecuted, s.cellsDeduped
 	s.mu.Unlock()
 	return opusnet.CacheStatsPayload{
 		Hits:          st.Hits,
@@ -201,6 +220,8 @@ func (s *Server) Stats() opusnet.CacheStatsPayload {
 		GridsDeduped:  deduped,
 		ExpsExecuted:  expsExecuted,
 		ExpsDeduped:   expsDeduped,
+		CellsExecuted: cellsExecuted,
+		CellsDeduped:  cellsDeduped,
 	}
 }
 
@@ -263,16 +284,9 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// replyBuffer bounds the per-connection reply queue: results and
-// progress frames queue here while the socket drains.
-const replyBuffer = 256
-
-// handle serves one client connection. Replies are serialized through a
-// per-connection writer goroutine so progress fan-out (which runs on
-// the engine's pool) never blocks on a socket. Required frames
-// (results, errors) on a wedged connection close it — the reply is
-// dropped, and the peer sees the closed socket instead of waiting
-// forever; advisory progress frames are simply dropped.
+// handle serves one client connection on opusnet's shared serving
+// skeleton (writer goroutine, drop-advisory-frames, close-on-wedge,
+// per-connection cancellation registry — see opusnet.ServeConn).
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -281,138 +295,21 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	out := make(chan *opusnet.Message, replyBuffer)
-	var wout sync.WaitGroup
-	wout.Add(1)
-	go func() {
-		defer wout.Done()
-		dead := false
-		for m := range out {
-			if dead {
-				continue // drain so senders never block on a dead socket
-			}
-			if err := opusnet.WriteMessage(conn, m); err != nil {
-				// The error may be pre-write (e.g. an oversized frame)
-				// with the socket itself still healthy; close it anyway,
-				// because the peer is now missing a reply it would wait
-				// on forever.
-				dead = true
-				_ = conn.Close()
-			}
-		}
-	}()
-	// A grid execution this connection subscribed to may still broadcast
-	// after the read loop exits; sending on the closed writer channel
-	// would panic. sendClosed gates every reply: once the connection is
-	// torn down, late progress frames and results are dropped (the peer
-	// is gone either way).
-	var sendMu sync.Mutex
-	sendClosed := false
-	defer wout.Wait()
-	defer func() {
-		sendMu.Lock()
-		sendClosed = true
-		sendMu.Unlock()
-		close(out)
-	}()
-	reply := func(m *opusnet.Message, required bool) {
-		sendMu.Lock()
-		defer sendMu.Unlock()
-		if sendClosed {
-			return
-		}
-		select {
-		case out <- m:
-		default:
-			if required {
-				// replyBuffer outstanding frames: the peer is dead or
-				// wedged. Close the connection so it sees an error
-				// instead of waiting forever on the dropped reply.
-				_ = conn.Close()
-			}
-			// Advisory progress frames are dropped silently.
-		}
-	}
-	// Per-connection cancellation registry: each outstanding exp
-	// request's waiter context is cancellable by a MsgCancel frame
-	// carrying the request's Seq; tearing the connection down cancels
-	// them all, so a dropped client stops holding executions alive.
-	cs := newConnState()
-	defer cs.teardown()
-	for {
-		msg, err := opusnet.ReadMessage(conn)
-		if err != nil {
-			return
-		}
-		s.dispatch(msg, reply, cs)
-	}
+	opusnet.ServeConn(conn, s.dispatch)
 }
 
-// connState tracks a connection's cancellable request waits.
-type connState struct {
-	mu      sync.Mutex
-	cancels map[uint64]context.CancelFunc
-	closed  bool
-}
-
-func newConnState() *connState {
-	return &connState{cancels: make(map[uint64]context.CancelFunc)}
-}
-
-// register installs a request's cancel func; it reports false (without
-// installing) when the connection is already torn down.
-func (cs *connState) register(seq uint64, cancel context.CancelFunc) bool {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.closed {
-		return false
-	}
-	cs.cancels[seq] = cancel
-	return true
-}
-
-func (cs *connState) unregister(seq uint64) {
-	cs.mu.Lock()
-	delete(cs.cancels, seq)
-	cs.mu.Unlock()
-}
-
-// cancelSeq fires the cancel for one outstanding request; unknown or
-// completed Seqs are ignored (the cancel raced the result).
-func (cs *connState) cancelSeq(seq uint64) {
-	cs.mu.Lock()
-	cancel := cs.cancels[seq]
-	cs.mu.Unlock()
-	if cancel != nil {
-		cancel()
-	}
-}
-
-// teardown cancels every outstanding wait on a dying connection.
-func (cs *connState) teardown() {
-	cs.mu.Lock()
-	cs.closed = true
-	cancels := make([]context.CancelFunc, 0, len(cs.cancels))
-	for _, c := range cs.cancels {
-		cancels = append(cancels, c)
-	}
-	cs.cancels = make(map[uint64]context.CancelFunc)
-	cs.mu.Unlock()
-	for _, c := range cancels {
-		c()
-	}
-}
-
-func (s *Server) dispatch(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *connState) {
+func (s *Server) dispatch(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *opusnet.ConnState) {
 	switch msg.Type {
 	case opusnet.MsgGridReq:
 		s.serveGrid(msg, reply)
 	case opusnet.MsgExpReq:
 		s.serveExp(msg, reply, cs)
+	case opusnet.MsgCellsReq:
+		s.serveCells(msg, reply, cs)
 	case opusnet.MsgCancel:
 		// No reply: the cancelled request itself terminates with MsgErr,
 		// and a cancel that raced completion has nothing to do.
-		cs.cancelSeq(msg.Seq)
+		cs.CancelSeq(msg.Seq)
 	case opusnet.MsgStatsReq:
 		st := s.Stats()
 		reply(&opusnet.Message{Type: opusnet.MsgStatsResp, Seq: msg.Seq, Cache: &st}, true)
@@ -435,32 +332,17 @@ func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bo
 		fail(fmt.Errorf("railserve: grid request without a spec"))
 		return
 	}
-	if len(msg.Spec.Name) > maxGridName {
-		// Deliberately does not echo the name: the refusal frame must
-		// stay encodable.
-		fail(fmt.Errorf("railserve: grid name of %d bytes exceeds the %d-byte limit", len(msg.Spec.Name), maxGridName))
-		return
-	}
-	grid, err := msg.Spec.Resolve()
+	// validateGridSpec rejects over-large grids before any expansion or
+	// simulation: the count is computed arithmetically, so a spec whose
+	// axes multiply out to billions of cells cannot OOM the daemon, and
+	// a grid whose result frame could never be encoded is refused
+	// before burning the execution.
+	grid, err := ValidateGridSpec(*msg.Spec)
 	if err != nil {
 		fail(err)
 		return
 	}
-	if err := grid.Validate(); err != nil {
-		fail(err)
-		return
-	}
-	// Reject over-large grids before any expansion or simulation: the
-	// count is computed arithmetically, so a spec whose axes multiply
-	// out to billions of cells cannot OOM the daemon, and a grid whose
-	// result frame could never be encoded is refused before burning the
-	// execution.
 	cells := grid.CellCount()
-	if cells > maxGridCells {
-		fail(fmt.Errorf("railserve: grid %q expands to %d cells, exceeding the %d-cell request cap",
-			grid.Name, cells, maxGridCells))
-		return
-	}
 	key := exp.Key("grid", grid)
 
 	s.mu.Lock()
@@ -521,17 +403,19 @@ func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bo
 	}()
 }
 
-// expRun is one in-flight experiment execution with its subscribers.
-// waiters counts the requests currently awaiting the result; when the
-// last one departs before completion, the execution's context is
-// cancelled — the request-level mirror of the engine cache's detached
+// waitRun is one in-flight experiment or cell-subset execution with
+// its subscribers; payload holds the path-specific result
+// (*opusnet.ExpResultPayload or *opusnet.CellsResultPayload). waiters
+// counts the requests currently awaiting the result; when the last one
+// departs before completion, the execution's context is cancelled —
+// the request-level mirror of the engine cache's detached
 // singleflight. waiters is guarded by the Server mutex (not r.mu), so
-// the last-departure decision and the run's removal from the inflight
-// map are atomic: a later identical request can never join a cancelled
+// the last-departure decision and the run's removal from the runs map
+// are atomic: a later identical request can never join a cancelled
 // run.
-type expRun struct {
+type waitRun struct {
 	done    chan struct{}
-	payload *opusnet.ExpResultPayload
+	payload any
 	err     error
 	cancel  context.CancelFunc
 	waiters int // guarded by Server.mu
@@ -540,13 +424,13 @@ type expRun struct {
 	subs []func(done, total int)
 }
 
-func (r *expRun) subscribe(fn func(done, total int)) {
+func (r *waitRun) subscribe(fn func(done, total int)) {
 	r.mu.Lock()
 	r.subs = append(r.subs, fn)
 	r.mu.Unlock()
 }
 
-func (r *expRun) broadcast(done, total int) {
+func (r *waitRun) broadcast(done, total int) {
 	r.mu.Lock()
 	subs := r.subs
 	r.mu.Unlock()
@@ -555,19 +439,19 @@ func (r *expRun) broadcast(done, total int) {
 	}
 }
 
-// departExp drops one waiter from a run; the last waiter leaving
+// departRun drops one waiter from a run; the last waiter leaving
 // cancels the execution (stopping new simulation jobs from being
 // scheduled — simulations already in flight finish into the warm
-// cache) and removes it from the inflight map in the same critical
+// cache) and removes it from the runs map in the same critical
 // section, so a subsequent identical request starts a fresh execution
 // instead of inheriting a spurious cancellation error. Cancelling a
 // run that already completed is a harmless no-op.
-func (s *Server) departExp(key string, run *expRun) {
+func (s *Server) departRun(key string, run *waitRun) {
 	s.mu.Lock()
 	run.waiters--
 	last := run.waiters == 0
-	if last && s.expRuns[key] == run {
-		delete(s.expRuns, key)
+	if last && s.runs[key] == run {
+		delete(s.runs, key)
 	}
 	s.mu.Unlock()
 	if last {
@@ -575,13 +459,137 @@ func (s *Server) departExp(key string, run *expRun) {
 	}
 }
 
+// serveRun is the shared join-or-start skeleton of the cancellable
+// request paths (experiments and cell subsets): coalesce onto an
+// identical in-flight execution under key or start one via execute
+// (detached, under the server's base context), then deliver the result
+// without blocking the connection's read loop. The request's wait —
+// not the shared execution — is bounded by its timeoutMS deadline, a
+// MsgCancel frame, and the connection's lifetime; waitErr shapes the
+// error a bounded wait reports. count runs under s.mu with the join
+// decision (counters only — it must not block); logDecision, when
+// non-nil, runs after the lock is released, so a slow Logf sink never
+// wedges the server. resultMsg shapes the final frame from the run's
+// payload.
+func (s *Server) serveRun(
+	key string, seq uint64, timeoutMS int64,
+	progressType opusnet.MsgType,
+	reply func(*opusnet.Message, bool), cs *opusnet.ConnState,
+	count func(shared bool),
+	logDecision func(shared bool),
+	execute func(ctx context.Context, run *waitRun) (any, error),
+	resultMsg func(payload any, shared bool) *opusnet.Message,
+	waitErr func(err error) error,
+) {
+	fail := func(err error) {
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
+	}
+	// The request's wait: bounded by the per-request deadline, the
+	// cancel frame, the connection, and server shutdown.
+	var wctx context.Context
+	var wcancel context.CancelFunc
+	if timeoutMS > 0 {
+		wctx, wcancel = context.WithTimeout(s.baseCtx, time.Duration(timeoutMS)*time.Millisecond)
+	} else {
+		wctx, wcancel = context.WithCancel(s.baseCtx)
+	}
+	if !cs.Register(seq, wcancel) {
+		wcancel() // connection already torn down
+		return
+	}
+
+	s.mu.Lock()
+	gate := s.execGate
+	run, shared := s.runs[key]
+	if shared {
+		run.waiters++ // under s.mu, like the last-departure decision
+		count(true)
+		s.mu.Unlock()
+	} else {
+		runCtx, runCancel := context.WithCancel(s.baseCtx)
+		run = &waitRun{done: make(chan struct{}), cancel: runCancel, waiters: 1}
+		s.runs[key] = run
+		count(false)
+		s.mu.Unlock()
+		s.execWG.Add(1)
+		go func() {
+			defer s.execWG.Done()
+			if gate != nil {
+				<-gate // test-only hold, see execGate
+			}
+			run.payload, run.err = execute(runCtx, run)
+			s.mu.Lock()
+			// departRun may already have removed (or a fresh run may
+			// have replaced) this key; only delete our own entry.
+			if s.runs[key] == run {
+				delete(s.runs, key)
+			}
+			s.mu.Unlock()
+			runCancel()
+			close(run.done)
+		}()
+	}
+	if logDecision != nil {
+		logDecision(shared)
+	}
+
+	run.subscribe(func(done, total int) {
+		reply(&opusnet.Message{Type: progressType, Seq: seq,
+			Progress: &opusnet.GridProgress{Done: done, Total: total}}, false)
+	})
+	s.execWG.Add(1)
+	go func() {
+		defer s.execWG.Done()
+		defer cs.Unregister(seq)
+		defer wcancel()
+		select {
+		case <-run.done:
+			if run.err != nil {
+				fail(run.err)
+				return
+			}
+			reply(resultMsg(run.payload, shared), true)
+		case <-wctx.Done():
+			// Only this request's wait ends: the shared execution keeps
+			// running for its other subscribers (and is cancelled only
+			// if this was the last one).
+			s.departRun(key, run)
+			fail(waitErr(wctx.Err()))
+		}
+	}()
+}
+
+// ValidateGridSpec applies the daemon's request bounds to a grid spec:
+// name length, resolvability, well-formedness, and the arithmetic cell
+// cap (see maxGridCells). The fleet coordinator applies the same
+// bounds before fanning a grid out, so a request one daemon would
+// refuse is refused by the fleet too — identically, before any
+// backend sees it.
+func ValidateGridSpec(spec scenario.Spec) (scenario.Grid, error) {
+	if len(spec.Name) > maxGridName {
+		// Deliberately does not echo the name: the refusal frame must
+		// stay encodable.
+		return scenario.Grid{}, fmt.Errorf("railserve: grid name of %d bytes exceeds the %d-byte limit", len(spec.Name), maxGridName)
+	}
+	grid, err := spec.Resolve()
+	if err != nil {
+		return scenario.Grid{}, err
+	}
+	if err := grid.Validate(); err != nil {
+		return scenario.Grid{}, err
+	}
+	if cells := grid.CellCount(); cells > maxGridCells {
+		return scenario.Grid{}, fmt.Errorf("railserve: grid %q expands to %d cells, exceeding the %d-cell request cap",
+			grid.Name, cells, maxGridCells)
+	}
+	return grid, nil
+}
+
 // serveExp runs a registered photonrail experiment for one request:
-// validate, coalesce onto an identical in-flight execution or start
-// one under the server's base context, and deliver the result without
-// blocking the connection's read loop. The request's wait — not the
-// shared execution — is bounded by its TimeoutMS deadline, a MsgCancel
-// frame, and the connection's lifetime.
-func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *connState) {
+// validate, then hand the cancellable join-or-start skeleton
+// (serveRun) an execute closure that runs the registry entry and
+// renders its result server-side.
+func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *opusnet.ConnState) {
 	seq := msg.Seq
 	fail := func(err error) {
 		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
@@ -612,22 +620,8 @@ func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, boo
 			return
 		}
 		spec := *req.Grid
-		if len(spec.Name) > maxGridName {
-			fail(fmt.Errorf("railserve: grid name of %d bytes exceeds the %d-byte limit", len(spec.Name), maxGridName))
-			return
-		}
-		grid, err := spec.Resolve()
-		if err != nil {
+		if _, err := ValidateGridSpec(spec); err != nil {
 			fail(err)
-			return
-		}
-		if err := grid.Validate(); err != nil {
-			fail(err)
-			return
-		}
-		if cells := grid.CellCount(); cells > maxGridCells {
-			fail(fmt.Errorf("railserve: grid %q expands to %d cells, exceeding the %d-cell request cap",
-				grid.Name, cells, maxGridCells))
 			return
 		}
 		p.Grid = &spec
@@ -635,92 +629,118 @@ func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, boo
 	}
 	key := exp.Key("exp", req.Name, p.Iterations, p.WindowIterations, p.LatenciesMS, p.Rail, p.GPUs, specKey)
 
-	// The request's wait: bounded by the per-request deadline, the
-	// cancel frame, the connection, and server shutdown.
-	var wctx context.Context
-	var wcancel context.CancelFunc
-	if req.TimeoutMS > 0 {
-		wctx, wcancel = context.WithTimeout(s.baseCtx, time.Duration(req.TimeoutMS)*time.Millisecond)
-	} else {
-		wctx, wcancel = context.WithCancel(s.baseCtx)
-	}
-	if !cs.register(seq, wcancel) {
-		wcancel() // connection already torn down
-		return
-	}
-
-	s.mu.Lock()
-	gate := s.execGate
-	run, shared := s.expRuns[key]
-	if shared {
-		run.waiters++ // under s.mu, like the last-departure decision
-		s.expsDeduped++
-	} else {
-		runCtx, runCancel := context.WithCancel(s.baseCtx)
-		run = &expRun{done: make(chan struct{}), cancel: runCancel, waiters: 1}
-		s.expRuns[key] = run
-		s.expsExecuted++
-		s.mu.Unlock()
-		if s.logf != nil {
-			s.logf("railserve: experiment %q: executing", req.Name)
-		}
-		s.execWG.Add(1)
-		go func() {
-			defer s.execWG.Done()
-			if gate != nil {
-				<-gate // test-only hold, see execGate
+	s.serveRun(key, seq, req.TimeoutMS, opusnet.MsgExpProgress, reply, cs,
+		func(shared bool) {
+			if shared {
+				s.expsDeduped++
+			} else {
+				s.expsExecuted++
 			}
-			params := p
-			params.OnProgress = run.broadcast
-			res, err := e.Run(runCtx, s.engine, params)
-			if err == nil {
-				run.payload, err = renderExpPayload(req.Name, res)
-			}
-			run.err = err
-			s.mu.Lock()
-			// departExp may already have removed (or a fresh run may
-			// have replaced) this key; only delete our own entry.
-			if s.expRuns[key] == run {
-				delete(s.expRuns, key)
-			}
-			s.mu.Unlock()
-			runCancel()
-			close(run.done)
-		}()
-		goto deliver
-	}
-	s.mu.Unlock()
-	if s.logf != nil {
-		s.logf("railserve: experiment %q: joined in-flight execution", req.Name)
-	}
-
-deliver:
-	run.subscribe(func(done, total int) {
-		reply(&opusnet.Message{Type: opusnet.MsgExpProgress, Seq: seq,
-			Progress: &opusnet.GridProgress{Done: done, Total: total}}, false)
-	})
-	s.execWG.Add(1)
-	go func() {
-		defer s.execWG.Done()
-		defer cs.unregister(seq)
-		defer wcancel()
-		select {
-		case <-run.done:
-			if run.err != nil {
-				fail(run.err)
+		},
+		func(shared bool) {
+			if s.logf == nil {
 				return
 			}
-			payload := *run.payload
-			payload.Shared = shared
-			reply(&opusnet.Message{Type: opusnet.MsgExpResult, Seq: seq, ExpResult: &payload}, true)
-		case <-wctx.Done():
-			// Only this request's wait ends: the shared execution keeps
-			// running for its other subscribers (and is cancelled only
-			// if this was the last one).
-			s.departExp(key, run)
-			fail(fmt.Errorf("railserve: experiment %q: %w", req.Name, wctx.Err()))
+			if shared {
+				s.logf("railserve: experiment %q: joined in-flight execution", req.Name)
+			} else {
+				s.logf("railserve: experiment %q: executing", req.Name)
+			}
+		},
+		func(ctx context.Context, run *waitRun) (any, error) {
+			params := p
+			params.OnProgress = run.broadcast
+			res, err := e.Run(ctx, s.engine, params)
+			if err != nil {
+				return nil, err
+			}
+			return renderExpPayload(req.Name, res)
+		},
+		func(payload any, shared bool) *opusnet.Message {
+			p := *(payload.(*opusnet.ExpResultPayload))
+			p.Shared = shared
+			return &opusnet.Message{Type: opusnet.MsgExpResult, Seq: seq, ExpResult: &p}
+		},
+		func(err error) error {
+			return fmt.Errorf("railserve: experiment %q: %w", req.Name, err)
+		})
+}
+
+// serveCells executes a subset of a grid's cells — the fleet
+// coordinator's partial-execution path. Identical subset requests
+// coalesce (singleflight keyed on the resolved grid AND the index
+// list), cells simulate on the shared bounded engine cache, and the
+// wait honors the same deadline/cancel/teardown contract as the
+// experiment path.
+func (s *Server) serveCells(msg *opusnet.Message, reply func(*opusnet.Message, bool), cs *opusnet.ConnState) {
+	seq := msg.Seq
+	fail := func(err error) {
+		reply(&opusnet.Message{Type: opusnet.MsgErr, Seq: seq, Error: err.Error()}, true)
+	}
+	req := msg.Cells
+	if req == nil || req.Spec == nil {
+		fail(fmt.Errorf("railserve: cells request without a grid spec"))
+		return
+	}
+	grid, err := ValidateGridSpec(*req.Spec)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if len(req.Indices) == 0 {
+		fail(fmt.Errorf("railserve: cells request for grid %q selects no cells", grid.Name))
+		return
+	}
+	total := grid.CellCount()
+	seen := make(map[int]bool, len(req.Indices))
+	for _, idx := range req.Indices {
+		if idx < 0 || idx >= total {
+			fail(fmt.Errorf("railserve: cell index %d outside grid %q (%d cells)", idx, grid.Name, total))
+			return
 		}
-	}()
+		if seen[idx] {
+			fail(fmt.Errorf("railserve: duplicate cell index %d for grid %q", idx, grid.Name))
+			return
+		}
+		seen[idx] = true
+	}
+	indices := append([]int(nil), req.Indices...)
+	key := exp.Key("cells", grid, indices)
+
+	s.serveRun(key, seq, req.TimeoutMS, opusnet.MsgGridProgress, reply, cs,
+		func(shared bool) {
+			if shared {
+				s.cellsDeduped++
+			} else {
+				s.cellsExecuted += uint64(len(indices))
+			}
+		},
+		func(shared bool) {
+			if s.logf == nil {
+				return
+			}
+			if shared {
+				s.logf("railserve: grid %q: joined in-flight %d-cell subset", grid.Name, len(indices))
+			} else {
+				s.logf("railserve: grid %q: executing %d-cell subset", grid.Name, len(indices))
+			}
+		},
+		func(ctx context.Context, run *waitRun) (any, error) {
+			results, err := s.engine.RunCellsProgressCtx(ctx, grid, indices, run.broadcast)
+			if err != nil {
+				return nil, err
+			}
+			res := photonrail.GridResult{Grid: grid, Cells: results}
+			return &opusnet.CellsResultPayload{Name: grid.Name, Indices: indices, Rows: res.Rows()}, nil
+		},
+		func(payload any, shared bool) *opusnet.Message {
+			p := *(payload.(*opusnet.CellsResultPayload))
+			p.Shared = shared
+			return &opusnet.Message{Type: opusnet.MsgCellsResult, Seq: seq, CellsResult: &p}
+		},
+		func(err error) error {
+			return fmt.Errorf("railserve: grid %q cells: %w", grid.Name, err)
+		})
 }
 
 // renderExpPayload renders a completed experiment once, server-side,

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — record one point of the performance trajectory.
+#
+# Runs the module's short benchmarks once (the same invocation CI's
+# short-benchmark step uses) and writes a machine-readable snapshot to
+# BENCH_<N>.json at the repo root, so successive PRs leave a comparable
+# series (BENCH_5.json, BENCH_6.json, ...) instead of only transient CI
+# artifacts. ns_per_op is wall time of ONE run (-benchtime 1x): it
+# tracks trends and regressions at coarse grain, not microbenchmark
+# precision.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]   (default BENCH_5.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -short -run '^$' -bench . -benchtime 1x ./... | tee "$raw"
+
+goversion="$(go env GOVERSION)"
+awk -v out="$out" -v goversion="$goversion" '
+    /^Benchmark/ && NF >= 4 && $4 == "ns/op" {
+        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
+        benches = benches sep line
+        sep = ",\n"
+    }
+    END {
+        printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"1x -short\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", goversion, benches > out
+    }
+' "$raw"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"

@@ -20,12 +20,14 @@ photonrail/cmd/opusim 25
 photonrail/cmd/railclient 70
 photonrail/cmd/railcost 70
 photonrail/cmd/raild 55
+photonrail/cmd/railfleet 60
 photonrail/cmd/railgrid 60
 photonrail/cmd/railsweep 60
 photonrail/cmd/railwindows 70
 photonrail/internal/collective 90
 photonrail/internal/cost 90
 photonrail/internal/exp 90
+photonrail/internal/faultnet 80
 photonrail/internal/gridcli 85
 photonrail/internal/metrics 90
 photonrail/internal/model 80
@@ -34,6 +36,7 @@ photonrail/internal/ocs 90
 photonrail/internal/opus 84
 photonrail/internal/opusnet 82
 photonrail/internal/parallelism 90
+photonrail/internal/railfleet 80
 photonrail/internal/railserve 80
 photonrail/internal/report 95
 photonrail/internal/scenario 93
