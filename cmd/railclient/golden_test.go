@@ -26,7 +26,7 @@ func TestGoldenLoopback(t *testing.T) {
 		format := format
 		t.Run(format, func(t *testing.T) {
 			var out, errb bytes.Buffer
-			if err := run(append(base, "-format", format), &out, &errb); err != nil {
+			if err := run(t.Context(), append(base, "-format", format), &out, &errb); err != nil {
 				t.Fatal(err)
 			}
 			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", "small."+format))
@@ -36,7 +36,7 @@ func TestGoldenLoopback(t *testing.T) {
 		t.Run("exp-"+format, func(t *testing.T) {
 			var out, errb bytes.Buffer
 			args := append(append([]string{}, base...), "-exp", "grid", "-timeout", "5m", "-format", format)
-			if err := run(args, &out, &errb); err != nil {
+			if err := run(t.Context(), args, &out, &errb); err != nil {
 				t.Fatal(err)
 			}
 			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", "small."+format))

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"photonrail"
@@ -40,13 +42,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C and SIGTERM cancel the run through the same context the
+	// -timeout flag bounds; a second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "railclient: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("railclient", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dims := gridcli.Register(fs)
@@ -102,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return printStats(c, stdout)
 	}
 
-	ctx, cancel := gridcli.WithTimeout(*timeout)
+	ctx, cancel := gridcli.WithTimeout(ctx, *timeout)
 	defer cancel()
 
 	var onProgress func(done, total int)

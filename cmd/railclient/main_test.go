@@ -23,7 +23,7 @@ func startDaemon(t *testing.T) string {
 func TestRemoteSweepCSV(t *testing.T) {
 	addr := startDaemon(t)
 	var out, errb bytes.Buffer
-	err := run([]string{"-addr", addr, "-par", "4:2:2", "-latencies", "5", "-iters", "1", "-format", "csv"},
+	err := run(t.Context(), []string{"-addr", addr, "-par", "4:2:2", "-latencies", "5", "-iters", "1", "-format", "csv"},
 		&out, &errb)
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +40,7 @@ func TestRemoteSweepCSV(t *testing.T) {
 func TestRemoteStats(t *testing.T) {
 	addr := startDaemon(t)
 	var out, errb bytes.Buffer
-	if err := run([]string{"-addr", addr, "-par", "4:2:2", "-latencies", "5", "-iters", "1",
+	if err := run(t.Context(), []string{"-addr", addr, "-par", "4:2:2", "-latencies", "5", "-iters", "1",
 		"-format", "csv", "-stats", "-progress"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestRemoteStats(t *testing.T) {
 		t.Errorf("no progress lines in %q", errb.String())
 	}
 	var so, se bytes.Buffer
-	if err := run([]string{"-addr", addr, "-daemon-stats"}, &so, &se); err != nil {
+	if err := run(t.Context(), []string{"-addr", addr, "-daemon-stats"}, &so, &se); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(so.String(), "daemon: cache") {
@@ -62,7 +62,7 @@ func TestRemoteStats(t *testing.T) {
 func TestRemoteExperimentMatchesLocal(t *testing.T) {
 	addr := startDaemon(t)
 	var out, errb bytes.Buffer
-	if err := run([]string{"-addr", addr, "-exp", "table3", "-timeout", "1m"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-addr", addr, "-exp", "table3", "-timeout", "1m"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	e, ok := photonrail.Lookup("table3")
@@ -92,7 +92,7 @@ func TestRejectsBadInput(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(t.Context(), args, &out, &errb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -100,7 +100,7 @@ func TestRejectsBadInput(t *testing.T) {
 
 func TestListCatalog(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-list"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-list"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "fig8-5d") {

@@ -25,7 +25,7 @@ func TestGoldenOutputs(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			var out, errb bytes.Buffer
-			if err := run(tc.args, &out, &errb); err != nil {
+			if err := run(t.Context(), tc.args, &out, &errb); err != nil {
 				t.Fatal(err)
 			}
 			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", tc.name))

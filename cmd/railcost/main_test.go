@@ -8,7 +8,7 @@ import (
 
 func TestRunDefaultPrintsTable3AndFig7(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run(nil, &out, &errb); err != nil {
+	if err := run(t.Context(), nil, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Piezo (Polatis)", "Fig. 7", "8192"} {
@@ -20,7 +20,7 @@ func TestRunDefaultPrintsTable3AndFig7(t *testing.T) {
 
 func TestRunBOM(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-bom", "-gpus", "1024"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-bom", "-gpus", "1024"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
@@ -36,7 +36,7 @@ func TestRunBOM(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-table3", "-csv"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-table3", "-csv"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -55,7 +55,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"positional"},
 	} {
 		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(t.Context(), args, &out, &errb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

@@ -21,7 +21,7 @@ func TestGoldenOutputs(t *testing.T) {
 		format := format
 		t.Run(format, func(t *testing.T) {
 			var out, errb bytes.Buffer
-			if err := run(append(base, "-format", format), &out, &errb); err != nil {
+			if err := run(t.Context(), append(base, "-format", format), &out, &errb); err != nil {
 				t.Fatal(err)
 			}
 			goldentest.Check(t, out.Bytes(), filepath.Join("testdata", "golden", "small."+format))

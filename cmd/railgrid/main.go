@@ -20,24 +20,31 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"photonrail"
 	"photonrail/internal/gridcli"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C and SIGTERM cancel the run through the same context the
+	// -timeout flag bounds; a second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "railgrid: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("railgrid", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dims := gridcli.Register(fs)
@@ -78,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *progress {
 		onCell = func(done, total int) { fmt.Fprintf(stderr, "railgrid: %d/%d cells\n", done, total) }
 	}
-	ctx, cancel := gridcli.WithTimeout(*timeout)
+	ctx, cancel := gridcli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	en := photonrail.NewEngine(*parallel)
 	// The validated spec feeds the registry's generic grid experiment:

@@ -11,7 +11,7 @@ import (
 
 func TestRunGridFromFlagsCSV(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-par", "4:2:2", "-latencies", "5", "-iters", "1", "-format", "csv"}, &out, &errb)
+	err := run(t.Context(), []string{"-par", "4:2:2", "-latencies", "5", "-iters", "1", "-format", "csv"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestRunGridFromFlagsCSV(t *testing.T) {
 
 func TestRunGridJSONShape(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-par", "4:2:2", "-fabrics", "electrical,static", "-iters", "1", "-format", "json"}, &out, &errb)
+	err := run(t.Context(), []string{"-par", "4:2:2", "-fabrics", "electrical,static", "-iters", "1", "-format", "json"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestFig8GridParallelMatchesSequential(t *testing.T) {
 	}
 	runGrid := func(parallel string) (string, string) {
 		var out, errb bytes.Buffer
-		if err := run([]string{"-grid", "fig8-5d", "-parallel", parallel, "-stats"}, &out, &errb); err != nil {
+		if err := run(t.Context(), []string{"-grid", "fig8-5d", "-parallel", parallel, "-stats"}, &out, &errb); err != nil {
 			t.Fatal(err)
 		}
 		return out.String(), errb.String()
@@ -107,7 +107,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(t.Context(), args, &out, &errb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -115,7 +115,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 
 func TestListCatalog(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-list"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-list"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"fig8-5d", "Llama3-8B", "A100", "provisioned"} {

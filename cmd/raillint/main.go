@@ -1,0 +1,212 @@
+// Command raillint runs photonrail's concurrency/determinism analyzer
+// suite (internal/lint/...) in two modes:
+//
+// Standalone, over package patterns:
+//
+//	raillint ./...
+//
+// loads and typechecks every matched package and prints surviving
+// findings as file:line:col: analyzer: message, exiting 1 if there are
+// any.
+//
+// As a vet tool:
+//
+//	go build -o /tmp/raillint ./cmd/raillint
+//	go vet -vettool=/tmp/raillint ./...
+//
+// speaks the go vet unit-checker protocol: the -V=full version
+// handshake for the build cache, then one JSON config file per
+// package, with diagnostics on stderr and exit status 2 when there are
+// findings.
+//
+// Suppressions use `//lint:allow <analyzer> <reason>` — see
+// internal/lint/allow; the reason is mandatory, and malformed or
+// unknown-analyzer annotations are themselves findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"photonrail/internal/lint/driver"
+	"photonrail/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches between the version handshake, vet-config mode, and
+// standalone pattern mode, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		return version(stdout, stderr)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// The go command asks which analyzer flags the tool accepts;
+		// raillint has none, so the answer is the empty JSON list.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0], stderr)
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return standalone(patterns, stdout, stderr)
+}
+
+// version implements the `-V=full` handshake: the go command hashes
+// this line into its build cache key, and for a "devel" version
+// requires a buildID field, so the binary's own digest is the honest
+// answer.
+func version(stdout, stderr io.Writer) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "raillint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		fmt.Fprintf(stderr, "raillint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "raillint: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "raillint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+// standalone loads patterns through the go command and checks every
+// directly matched package.
+func standalone(patterns []string, stdout, stderr io.Writer) int {
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "raillint: %v\n", err)
+		return 1
+	}
+	suite := driver.Suite()
+	exit := 0
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "raillint: %s: %v\n", pkg.ImportPath, terr)
+			}
+			exit = 1
+			continue
+		}
+		findings, err := driver.CheckPackage(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "raillint: %v\n", err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vetConfig is the subset of the go vet unit-checker config raillint
+// consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit checks the single package described by a vet config file.
+// In the test variant the go command pre-merges in-package _test.go
+// sources into GoFiles; raillint re-partitions them by suffix so the
+// analyzers see the same Files/TestFiles split the standalone loader
+// produces — test code is evidence (seed-corpus ledgers), not a
+// subject of the concurrency checks.
+func vetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "raillint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "raillint: %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Export data for direct imports under their source spelling, plus
+	// every transitive dependency under its canonical path (the gc
+	// importer asks for both).
+	exports := make(map[string]string, len(cfg.ImportMap)+len(cfg.PackageFile))
+	for canonical, file := range cfg.PackageFile {
+		exports[canonical] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+
+	// The go command expects the facts (vetx) output to exist even
+	// though raillint's analyzers carry no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "raillint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	var goFiles, testGoFiles []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			testGoFiles = append(testGoFiles, f)
+		} else {
+			goFiles = append(goFiles, f)
+		}
+	}
+	pkg, err := loader.CheckFiles(cfg.ImportPath, "", cfg.Dir, goFiles, testGoFiles, exports)
+	if err != nil {
+		fmt.Fprintf(stderr, "raillint: %v\n", err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "raillint: %s: %v\n", cfg.ImportPath, terr)
+		}
+		return 1
+	}
+	findings, err := driver.CheckPackage(pkg, driver.Suite())
+	if err != nil {
+		fmt.Fprintf(stderr, "raillint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestVersionHandshake covers the `-V=full` leg of the vet protocol:
+// the go command requires a stable, buildID-bearing version line to key
+// its cache on.
+func TestVersionHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-V=full) = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "raillint version ") || !strings.Contains(out, "buildID=") {
+		t.Errorf("version line %q lacks the name/buildID shape the go command requires", out)
+	}
+}
+
+// TestFlagsHandshake covers the `-flags` leg: raillint takes no
+// analyzer flags, so the go command must be told the empty list.
+func TestFlagsHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-flags) = %d, stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("run(-flags) printed %q, want []", got)
+	}
+}
+
+// TestStandaloneCleanPackage runs the real loader + suite over a small
+// package with no concurrency at all, which must come back clean.
+func TestStandaloneCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"photonrail/internal/units"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run(internal/units) = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean package produced findings:\n%s", stdout.String())
+	}
+}
+
+// TestStandaloneFlagsDistilledDeadlock runs the binary's own standalone
+// path over the lockedblock corpus — the distilled PR 2
+// reply-under-mutex deadlock — and requires the nonzero exit and the
+// finding on stdout. This is the end-to-end guarantee that the shipped
+// tool, not just the analyzer under analysistest, catches the
+// historical bug class.
+func TestStandaloneFlagsDistilledDeadlock(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"photonrail/internal/lint/lockedblock/testdata/src/lockedrepro"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run(lockedrepro) = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "lockedblock:") || !strings.Contains(out, "channel send while") {
+		t.Errorf("repro corpus findings missing the deadlock diagnostic:\n%s", out)
+	}
+}

@@ -19,13 +19,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"photonrail"
 	"photonrail/internal/gridcli"
@@ -33,7 +36,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C and SIGTERM cancel the run through the same context the
+	// -timeout flag bounds; a second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "railsweep: %v\n", err)
 		os.Exit(1)
 	}
@@ -42,7 +49,7 @@ func main() {
 // experimentNames is the order "all" runs in (cheap tables first).
 var experimentNames = []string{"table1", "table2", "table3", "fig7", "fig4", "fig8"}
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("railsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -90,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		selected = append(selected, name)
 	}
 
-	ctx, cancel := gridcli.WithTimeout(*timeout)
+	ctx, cancel := gridcli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	en := photonrail.NewEngine(*parallel)
 	params := photonrail.Params{

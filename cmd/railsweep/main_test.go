@@ -9,7 +9,7 @@ import (
 
 func TestRunTable3Text(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"table3"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"table3"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Piezo (Polatis)") {
@@ -22,7 +22,7 @@ func TestRunFig8JSON(t *testing.T) {
 		t.Skip("simulates the workload")
 	}
 	var out, errb bytes.Buffer
-	err := run([]string{"-json", "-parallel", "4", "-iters", "1", "-latencies", "0,10", "-stats", "fig8"}, &out, &errb)
+	err := run(t.Context(), []string{"-json", "-parallel", "4", "-iters", "1", "-latencies", "0,10", "-stats", "fig8"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestRunFig8JSON(t *testing.T) {
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"fig99"}, &out, &errb); err == nil {
+	if err := run(t.Context(), []string{"fig99"}, &out, &errb); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

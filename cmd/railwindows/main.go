@@ -15,24 +15,31 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"photonrail"
 	"photonrail/internal/gridcli"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C and SIGTERM cancel the run through the same context the
+	// -timeout flag bounds; a second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "railwindows: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("railwindows", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -82,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		selected = append(selected, "window-analysis")
 	}
 
-	ctx, cancel := gridcli.WithTimeout(*timeout)
+	ctx, cancel := gridcli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	return gridcli.RunExperiments(ctx, photonrail.NewEngine(0), selected,
 		photonrail.Params{WindowIterations: *iters, Rail: *rail}, *csv, stdout)

@@ -8,7 +8,7 @@ import (
 
 func TestRunTablesAndEq1(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-table1", "-table2", "-eq1"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-table1", "-table2", "-eq1"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
@@ -28,7 +28,7 @@ func TestRunFig3Fig4(t *testing.T) {
 		t.Skip("simulates the traced workload")
 	}
 	var out, errb bytes.Buffer
-	if err := run([]string{"-fig3", "-fig4", "-iterations", "2"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-fig3", "-fig4", "-iterations", "2"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"rail1", "windows over 1ms:", "AG"} {
@@ -40,7 +40,7 @@ func TestRunFig3Fig4(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-table1", "-csv"}, &out, &errb); err != nil {
+	if err := run(t.Context(), []string{"-table1", "-csv"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), ",") || strings.Contains(out.String(), "---") {
@@ -55,7 +55,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"positional"},
 	} {
 		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
+		if err := run(t.Context(), args, &out, &errb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

@@ -185,6 +185,7 @@ func (e *Engine) Do(key string, fn func() (any, error)) (any, error) {
 // DoCost is DoCostCtx with a background context: the caller never
 // departs, so the computation is never cancelled under it.
 func (e *Engine) DoCost(key string, cost int64, fn func() (any, error)) (any, error) {
+	//lint:allow ctxbg documented contract of the non-ctx wrapper: no caller to depart, so nothing cancels it
 	return e.DoCostCtx(context.Background(), key, cost, func(context.Context) (any, error) { return fn() })
 }
 
@@ -240,12 +241,13 @@ func (e *Engine) DoCostCtx(ctx context.Context, key string, cost int64, fn func(
 			return v, err
 		}
 		ent := &entry{key: key, done: make(chan struct{}), cost: cost, waiters: 1}
+		//lint:allow ctxbg computations are deliberately detached from the first waiter's ctx; ent.cancel fires when the last waiter departs
 		ent.runCtx, ent.cancel = context.WithCancel(context.Background())
 		e.cache[key] = ent
 		e.mu.Unlock()
 		e.misses.Add(1)
 		e.inflight.Add(1)
-		go e.compute(ent, fn)
+		go e.compute(ent, fn) //lint:allow goroutinejoin waiters join per-key via ent.done in wait; abandoned computations self-terminate via ent.cancel
 		v, err, retry := e.wait(ctx, ent, true)
 		if retry {
 			continue
@@ -363,6 +365,7 @@ func Cached[T any](e *Engine, key string, fn func() (T, error)) (T, error) {
 
 // CachedCost is the typed wrapper over DoCost.
 func CachedCost[T any](e *Engine, key string, cost int64, fn func() (T, error)) (T, error) {
+	//lint:allow ctxbg documented contract of the non-ctx wrapper: no caller to depart, so nothing cancels it
 	return CachedCostCtx(context.Background(), e, key, cost, func(context.Context) (T, error) { return fn() })
 }
 
@@ -403,6 +406,7 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 // by submission index, so parallel output stays byte-identical to a
 // sequential run.
 func MapProgress[T any](e *Engine, n int, fn func(i int) (T, error), onDone func(completed, total int)) ([]T, error) {
+	//lint:allow ctxbg documented contract of the non-ctx wrapper; MapProgressCtx is the cancellable entry point
 	return MapProgressCtx(context.Background(), e, n,
 		func(_ context.Context, i int) (T, error) { return fn(i) }, onDone)
 }

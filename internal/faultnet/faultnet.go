@@ -83,7 +83,7 @@ func (n *Network) Close() {
 	n.mu.Lock()
 	eps := make([]*Endpoint, 0, len(n.eps))
 	for _, ep := range n.eps {
-		eps = append(eps, ep)
+		eps = append(eps, ep) //lint:allow maporder endpoint teardown is a set operation; kill order is immaterial
 	}
 	n.mu.Unlock()
 	for _, ep := range eps {

@@ -25,14 +25,17 @@ import (
 	"photonrail/internal/topo"
 )
 
-// WithTimeout returns a context bounded by d; d <= 0 means no
-// deadline (the returned cancel func is still non-nil). The shared
-// -timeout plumbing of every experiment CLI.
-func WithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+// WithTimeout returns a context bounded by d, derived from parent;
+// d <= 0 means no deadline (the returned cancel func is still
+// non-nil). The shared -timeout plumbing of every experiment CLI. The
+// parent is the CLI main's signal context, so Ctrl-C cancels a run
+// whether or not a -timeout was set — manufacturing a root here was
+// exactly the detachment raillint's ctxbg now bans.
+func WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
 	if d > 0 {
-		return context.WithTimeout(context.Background(), d)
+		return context.WithTimeout(parent, d)
 	}
-	return context.WithCancel(context.Background())
+	return context.WithCancel(parent)
 }
 
 // RunExperiments looks up and runs each named registry experiment on

@@ -166,7 +166,7 @@ func TestPrintCatalog(t *testing.T) {
 }
 
 func TestWithTimeout(t *testing.T) {
-	ctx, cancel := WithTimeout(time.Hour)
+	ctx, cancel := WithTimeout(t.Context(), time.Hour)
 	if _, ok := ctx.Deadline(); !ok {
 		t.Error("positive timeout produced no deadline")
 	}
@@ -174,13 +174,25 @@ func TestWithTimeout(t *testing.T) {
 	if ctx.Err() == nil {
 		t.Error("cancel did not cancel the deadline context")
 	}
-	ctx, cancel = WithTimeout(0)
+	ctx, cancel = WithTimeout(t.Context(), 0)
 	if _, ok := ctx.Deadline(); ok {
 		t.Error("zero timeout produced a deadline")
 	}
 	cancel()
 	if ctx.Err() == nil {
 		t.Error("cancel did not cancel the plain context")
+	}
+}
+
+func TestWithTimeoutInheritsParentCancellation(t *testing.T) {
+	parent, stop := context.WithCancel(t.Context())
+	ctx, cancel := WithTimeout(parent, time.Hour)
+	defer cancel()
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Error("cancelling the parent did not cancel the derived context")
 	}
 }
 

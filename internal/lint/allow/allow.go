@@ -1,0 +1,159 @@
+// Package allow implements raillint's suppression annotation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory — a bare suppression is itself a lint
+// failure — and the annotation's scope follows from where it sits:
+//
+//   - in a file's doc comment (above the package clause): whole file;
+//   - in a func or decl doc comment: that declaration;
+//   - anywhere else: the comment's own line and the line below it, so
+//     both trailing (`x := f() //lint:allow ...`) and standalone-above
+//     placements work.
+//
+// raillint filters every analyzer's diagnostics through one Index, so
+// the mechanism is uniform across the suite, and reports malformed
+// annotations (Bare) and annotations naming unknown analyzers as
+// findings in their own right.
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Prefix is the annotation's comment prefix.
+const Prefix = "//lint:allow"
+
+// Annotation is one parsed //lint:allow comment.
+type Annotation struct {
+	// Analyzer is the named analyzer ("" when the annotation is bare).
+	Analyzer string
+	// Reason is the mandatory justification ("" when bare).
+	Reason string
+	// Pos locates the annotation comment.
+	Pos token.Pos
+}
+
+// scope is the region one annotation suppresses: [startLine, endLine]
+// of file.
+type scope struct {
+	file      string
+	startLine int
+	endLine   int
+}
+
+// Index answers "is this diagnostic suppressed?" for a set of files.
+type Index struct {
+	fset *token.FileSet
+	// byAnalyzer maps analyzer name -> suppressed regions.
+	byAnalyzer map[string][]scope
+	bare       []Annotation
+	all        []Annotation
+}
+
+// Build scans every comment of every file group for annotations.
+// Groups typically separate typechecked files from test files; the
+// index treats them identically.
+func Build(fset *token.FileSet, groups ...[]*ast.File) *Index {
+	ix := &Index{fset: fset, byAnalyzer: make(map[string][]scope)}
+	for _, files := range groups {
+		for _, f := range files {
+			ix.scanFile(f)
+		}
+	}
+	return ix
+}
+
+func (ix *Index) scanFile(f *ast.File) {
+	// Doc-comment ownership: a comment group that is a file, func, or
+	// decl doc widens the annotation's scope to that owner.
+	fileDoc := f.Doc
+	declDoc := make(map[*ast.CommentGroup]ast.Decl)
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				declDoc[d.Doc] = d
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				declDoc[d.Doc] = d
+			}
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			ann, ok := parse(c)
+			if !ok {
+				continue
+			}
+			ann.Pos = c.Pos()
+			if ann.Analyzer == "" || ann.Reason == "" {
+				ix.bare = append(ix.bare, ann)
+				continue
+			}
+			ix.all = append(ix.all, ann)
+			pos := ix.fset.Position(c.Pos())
+			sc := scope{file: pos.Filename, startLine: pos.Line, endLine: pos.Line + 1}
+			if cg == fileDoc {
+				sc.startLine = 1
+				sc.endLine = ix.fset.Position(f.End()).Line
+			} else if d, ok := declDoc[cg]; ok {
+				sc.startLine = ix.fset.Position(d.Pos()).Line
+				sc.endLine = ix.fset.Position(d.End()).Line
+			}
+			ix.byAnalyzer[ann.Analyzer] = append(ix.byAnalyzer[ann.Analyzer], sc)
+		}
+	}
+}
+
+// parse recognizes an annotation comment; ok reports whether c is one
+// at all (well-formed or not).
+func parse(c *ast.Comment) (Annotation, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, Prefix) {
+		return Annotation{}, false
+	}
+	rest := text[len(Prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Annotation{}, false // e.g. //lint:allowed — not ours
+	}
+	fields := strings.Fields(rest)
+	ann := Annotation{}
+	if len(fields) > 0 {
+		ann.Analyzer = fields[0]
+	}
+	if len(fields) > 1 {
+		ann.Reason = strings.Join(fields[1:], " ")
+	}
+	return ann, true
+}
+
+// Allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed by an annotation in scope.
+func (ix *Index) Allowed(analyzer string, pos token.Pos) bool {
+	p := ix.fset.Position(pos)
+	for _, sc := range ix.byAnalyzer[analyzer] {
+		if sc.file == p.Filename && sc.startLine <= p.Line && p.Line <= sc.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+// Bare returns the malformed annotations: missing the analyzer name or
+// the mandatory reason. raillint reports each as a finding.
+func (ix *Index) Bare() []Annotation {
+	return ix.bare
+}
+
+// Annotations returns the well-formed annotations in position order;
+// raillint cross-checks their analyzer names against the suite.
+func (ix *Index) Annotations() []Annotation {
+	out := append([]Annotation(nil), ix.all...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

@@ -1,0 +1,113 @@
+package allow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFile parses src as demo.go and returns an Index over it plus a
+// helper resolving (line, col 1) to a token.Pos.
+func buildIndex(t *testing.T, src string) (*Index, func(line int) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+	return Build(fset, []*ast.File{f}), at
+}
+
+func TestTrailingAnnotationCoversItsLineAndTheNext(t *testing.T) {
+	ix, at := buildIndex(t, `package demo
+
+func f() {
+	_ = 1 //lint:allow maporder order is immaterial here
+	_ = 2
+	_ = 3
+}
+`)
+	if !ix.Allowed("maporder", at(4)) {
+		t.Error("annotation line not suppressed")
+	}
+	if !ix.Allowed("maporder", at(5)) {
+		t.Error("line below annotation not suppressed")
+	}
+	if ix.Allowed("maporder", at(6)) {
+		t.Error("two lines below annotation wrongly suppressed")
+	}
+	if ix.Allowed("lockedblock", at(4)) {
+		t.Error("other analyzer wrongly suppressed")
+	}
+}
+
+func TestFuncDocAnnotationCoversTheDeclaration(t *testing.T) {
+	ix, at := buildIndex(t, `package demo
+
+// f does a thing.
+//lint:allow ctxbg this is a lifetime root
+func f() {
+	_ = 1
+	_ = 2
+}
+
+func g() {
+	_ = 3
+}
+`)
+	for line := 5; line <= 8; line++ {
+		if !ix.Allowed("ctxbg", at(line)) {
+			t.Errorf("line %d inside annotated func not suppressed", line)
+		}
+	}
+	if ix.Allowed("ctxbg", at(11)) {
+		t.Error("line in unannotated func wrongly suppressed")
+	}
+}
+
+func TestFileDocAnnotationCoversTheWholeFile(t *testing.T) {
+	ix, at := buildIndex(t, `// Package demo is generated.
+//lint:allow maporder generated output, ordering checked upstream
+package demo
+
+func f() {
+	_ = 1
+}
+`)
+	if !ix.Allowed("maporder", at(6)) {
+		t.Error("file-doc annotation did not cover the file body")
+	}
+}
+
+func TestBareAndUnknownAnnotations(t *testing.T) {
+	ix, _ := buildIndex(t, `package demo
+
+func f() {
+	_ = 1 //lint:allow
+	_ = 2 //lint:allow maporder
+	_ = 3 //lint:allow maporder a real reason
+}
+`)
+	if got := len(ix.Bare()); got != 2 {
+		t.Errorf("Bare() = %d annotations, want 2 (no-name and no-reason)", got)
+	}
+	anns := ix.Annotations()
+	if len(anns) != 1 || anns[0].Analyzer != "maporder" || anns[0].Reason != "a real reason" {
+		t.Errorf("Annotations() = %+v, want one well-formed maporder entry", anns)
+	}
+}
+
+func TestLookalikePrefixIsNotAnAnnotation(t *testing.T) {
+	ix, _ := buildIndex(t, `package demo
+
+func f() {
+	_ = 1 //lint:allowed maporder not actually ours
+}
+`)
+	if len(ix.Bare()) != 0 || len(ix.Annotations()) != 0 {
+		t.Error("//lint:allowed was parsed as a //lint:allow annotation")
+	}
+}

@@ -1,0 +1,60 @@
+// Package analysis is a standard-library-only miniature of
+// golang.org/x/tools/go/analysis: just enough Analyzer/Pass/Diagnostic
+// surface for the raillint suite (internal/lint/...) to be written in
+// the upstream idiom without the external module, which this build
+// cannot fetch. An analyzer written against this package ports to the
+// real framework by swapping the import and (for cross-test-file
+// checks) replacing TestFiles with the [test] package variant.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow annotations. By convention a short, lowercase,
+	// letters-only word (e.g. "lockedblock").
+	Name string
+	// Doc is the one-paragraph help text: what invariant the analyzer
+	// enforces and why the codebase cares.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. A non-nil error aborts the whole raillint run (it
+	// means the analyzer itself failed, not that the code has findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed-and-typechecked state through an
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test files, typechecked.
+	Files []*ast.File
+	// TestFiles are the package's in-package _test.go files, parsed but
+	// NOT typechecked — cross-file consistency checks (protoconsistency's
+	// seed-corpus rule) scan them syntactically. May be empty.
+	TestFiles []*ast.File
+	// Pkg and TypesInfo describe Files. TypesInfo always has Types,
+	// Defs, Uses, and Selections populated.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestReportfForwardsFormattedDiagnostic(t *testing.T) {
+	var got []Diagnostic
+	p := &Pass{
+		Analyzer: &Analyzer{Name: "demo"},
+		Report:   func(d Diagnostic) { got = append(got, d) },
+	}
+	p.Reportf(token.Pos(42), "bad %s at %d", "send", 7)
+	if len(got) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(got))
+	}
+	if got[0].Pos != token.Pos(42) {
+		t.Errorf("Pos = %v, want 42", got[0].Pos)
+	}
+	if got[0].Message != "bad send at 7" {
+		t.Errorf("Message = %q", got[0].Message)
+	}
+}

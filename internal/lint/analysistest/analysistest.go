@@ -1,0 +1,166 @@
+// Package analysistest runs a raillint analyzer over a corpus package
+// and compares its diagnostics against expectations embedded in the
+// corpus, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	ch <- v // want `channel send`
+//
+// A `// want` comment holds one or more backquoted or double-quoted
+// regular expressions; each must match exactly one diagnostic reported
+// on that line, and every diagnostic must be claimed by a want.
+// Diagnostics are filtered through the //lint:allow index first — the
+// same filtering the raillint driver applies — so corpora exercise the
+// suppression mechanism too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"photonrail/internal/lint/allow"
+	"photonrail/internal/lint/analysis"
+	"photonrail/internal/lint/loader"
+)
+
+// wantRE extracts the quoted expectations of one want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one // want entry awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named corpus package (testdata
+// is resolved relative to the calling test's working directory, i.e.
+// the analyzer package), runs the analyzer, and reports mismatches
+// against the corpus's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, filepath.Join("testdata", "src", pkg))
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("corpus does not typecheck: %v", terr)
+	}
+	if t.Failed() {
+		return
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		TestFiles: pkg.TestFiles,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s failed: %v", a.Name, err)
+	}
+
+	// The driver-identical suppression pass.
+	ix := allow.Build(pkg.Fset, pkg.Files, pkg.TestFiles)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ix.Allowed(a.Name, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	expects := collectWants(t, pkg.Fset, pkg)
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if !claim(expects, p.Filename, p.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", position(p), d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// pattern matches msg.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment in the corpus (test files
+// included — protoconsistency anchors seed-corpus findings there).
+func collectWants(t *testing.T, fset *token.FileSet, pkg *loader.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, ok := wantText(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", position(p), pat, err)
+					}
+					out = append(out, &expectation{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func position(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// wantText returns the expectation patterns of a comment, and whether
+// it is a want comment at all.
+func wantText(text string) ([]string, bool) {
+	const marker = "// want "
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return nil, false
+	}
+	var pats []string
+	for _, m := range wantRE.FindAllStringSubmatch(text[i+len(marker):], -1) {
+		if m[1] != "" {
+			pats = append(pats, m[1])
+		} else {
+			pats = append(pats, m[2])
+		}
+	}
+	return pats, len(pats) > 0
+}

@@ -1,0 +1,37 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"photonrail/internal/lint/analysis"
+	"photonrail/internal/lint/analysistest"
+)
+
+// paniccheck is a toy analyzer: it flags every panic call. The corpus
+// under testdata/src/selftest pairs one flagged call with a // want,
+// one with a //lint:allow suppression, and one quiet function — so a
+// pass here means want-matching and allow-filtering both work.
+var paniccheck = &analysis.Analyzer{
+	Name: "paniccheck",
+	Doc:  "flags panic calls (analysistest self-test fixture)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					pass.Reportf(call.Pos(), "panic call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunMatchesWantsAndAppliesAllow(t *testing.T) {
+	analysistest.Run(t, paniccheck, "selftest")
+}

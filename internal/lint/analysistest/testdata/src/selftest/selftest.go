@@ -1,0 +1,17 @@
+// Package selftest is the corpus for analysistest's own test: a
+// deliberately trivial shape checked by a toy panic-flagging analyzer,
+// so the want-matching and allow-filtering machinery is what is under
+// test, not a real invariant.
+package selftest
+
+func explode() {
+	panic("boom") // want `panic call`
+}
+
+func excused() {
+	panic("fine") //lint:allow paniccheck the toy analyzer is suppressed here on purpose
+}
+
+func quiet() int {
+	return 1
+}

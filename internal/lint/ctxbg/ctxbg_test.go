@@ -1,0 +1,12 @@
+package ctxbg_test
+
+import (
+	"testing"
+
+	"photonrail/internal/lint/analysistest"
+	"photonrail/internal/lint/ctxbg"
+)
+
+func TestCtxbg(t *testing.T) {
+	analysistest.Run(t, ctxbg.Analyzer, "internal/ctxbgrepro", "pkg/outside")
+}

@@ -1,0 +1,11 @@
+// Package outside sits outside any internal/ tree: the repo-root
+// compatibility wrappers' position. ctxbg must stay quiet here.
+package outside
+
+import "context"
+
+// Run manufactures a root context legitimately — public API wrappers
+// for pre-context callers do exactly this.
+func Run() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,122 @@
+// Package driver runs the raillint analyzer suite over loaded packages
+// and folds the //lint:allow annotation contract into the results: it
+// filters suppressed diagnostics, and turns malformed or unknown-name
+// annotations into findings of their own. Both raillint front ends —
+// the standalone `raillint ./...` walker and the `go vet -vettool`
+// unit checker — share this package, so a finding means the same thing
+// in either mode.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"photonrail/internal/lint/allow"
+	"photonrail/internal/lint/analysis"
+	"photonrail/internal/lint/ctxbg"
+	"photonrail/internal/lint/goroutinejoin"
+	"photonrail/internal/lint/loader"
+	"photonrail/internal/lint/lockedblock"
+	"photonrail/internal/lint/maporder"
+	"photonrail/internal/lint/protoconsistency"
+)
+
+// Suite returns the raillint analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxbg.Analyzer,
+		goroutinejoin.Analyzer,
+		lockedblock.Analyzer,
+		maporder.Analyzer,
+		protoconsistency.Analyzer,
+	}
+}
+
+// Finding is one surviving diagnostic, resolved to a printable
+// position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats a finding the way the go toolchain prints
+// diagnostics, with the analyzer name spliced in:
+// file:line:col: analyzer: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// CheckPackage runs every analyzer in suite over pkg, applies the
+// //lint:allow filter, and appends annotation-contract findings (bare
+// annotations, unknown analyzer names). Findings come back sorted by
+// position. The error is an analyzer crash, not a finding.
+func CheckPackage(pkg *loader.Package, suite []*analysis.Analyzer) ([]Finding, error) {
+	idx := allow.Build(pkg.Fset, pkg.Files, pkg.TestFiles)
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+
+	var out []Finding
+	for _, a := range suite {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			TestFiles: pkg.TestFiles,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				if idx.Allowed(a.Name, d.Pos) {
+					return
+				}
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s failed on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	// The annotation contract is itself enforced: a suppression with no
+	// analyzer or no reason is a finding, as is one naming an analyzer
+	// that does not exist (it suppresses nothing and rots silently).
+	for _, ann := range idx.Bare() {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(ann.Pos),
+			Analyzer: "allow",
+			Message:  "bare //lint:allow: both the analyzer name and a reason are required (//lint:allow <analyzer> <reason>)",
+		})
+	}
+	for _, ann := range idx.Annotations() {
+		if !known[ann.Analyzer] {
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(ann.Pos),
+				Analyzer: "allow",
+				Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q; it suppresses nothing", ann.Analyzer),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

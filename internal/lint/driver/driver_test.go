@@ -1,0 +1,57 @@
+package driver_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"photonrail/internal/lint/driver"
+	"photonrail/internal/lint/loader"
+)
+
+func TestCheckPackageFiltersAndEnforcesAnnotations(t *testing.T) {
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "driverrepro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("corpus does not typecheck: %v", pkg.TypeErrors)
+	}
+	findings, err := driver.CheckPackage(pkg, driver.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	joined := strings.Join(got, "\n")
+
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3 (lockedblock + bare + unknown):\n%s", len(findings), joined)
+	}
+	// Sorted by position: reply's send, then the bare annotation, then
+	// the unknown-analyzer annotation.
+	if findings[0].Analyzer != "lockedblock" || !strings.Contains(findings[0].Message, "channel send") {
+		t.Errorf("findings[0] = %s, want the lockedblock send", got[0])
+	}
+	if findings[1].Analyzer != "allow" || !strings.Contains(findings[1].Message, "bare //lint:allow") {
+		t.Errorf("findings[1] = %s, want the bare-annotation finding", got[1])
+	}
+	if findings[2].Analyzer != "allow" || !strings.Contains(findings[2].Message, `unknown analyzer "nosuchcheck"`) {
+		t.Errorf("findings[2] = %s, want the unknown-analyzer finding", got[2])
+	}
+	if strings.Contains(joined, "replyExcused") {
+		t.Errorf("suppressed finding leaked through:\n%s", joined)
+	}
+
+	// The printable form is the toolchain diagnostic shape.
+	if !strings.HasSuffix(findings[0].Pos.Filename, "driverrepro.go") {
+		t.Errorf("finding position %v not resolved to the corpus file", findings[0].Pos)
+	}
+	parts := strings.SplitN(got[0], ": ", 3)
+	if len(parts) != 3 || parts[1] != "lockedblock" {
+		t.Errorf("String() = %q, want file:line:col: analyzer: message", got[0])
+	}
+}

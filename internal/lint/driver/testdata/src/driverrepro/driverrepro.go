@@ -1,0 +1,38 @@
+// Package driverrepro is the corpus for the driver's own test: one
+// real lockedblock finding, one suppressed twin, and the two
+// annotation-contract violations (bare, unknown analyzer) the driver
+// must surface as findings itself.
+package driverrepro
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	out   chan int
+	state int
+}
+
+// reply is the distilled PR 2 shape the driver must report.
+func (s *server) reply(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = v
+	s.out <- v
+}
+
+// replyExcused is the same shape with a justified suppression the
+// driver must honor.
+func (s *server) replyExcused(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = v
+	s.out <- v //lint:allow lockedblock out is buffered to the request cap in this fixture
+}
+
+func bareSuppression() int {
+	return 1 //lint:allow
+}
+
+func unknownAnalyzer() int {
+	return 2 //lint:allow nosuchcheck this analyzer does not exist
+}

@@ -1,0 +1,257 @@
+// Package goroutinejoin defines the raillint analyzer that catches
+// goroutines started against a type's state with no join path.
+//
+// PR 5's fleet client leaked its reader goroutine: Dial started
+// `go c.readLoop()`, and Close only closed the socket — it never waited
+// for the loop to observe the error and exit. Under churn the leaked
+// readers piled up, and the race detector flagged late writes from
+// half-dead readers into freshly reused client state. The fix gave the
+// client a done channel that Close receives from after closing the
+// connection.
+//
+// The analyzer finds `go` statements whose goroutine touches a
+// package-local type's state — a method starting `go r.loop()` or a
+// closure over its receiver, or a constructor starting a goroutine
+// against the value it is building — and demands join evidence:
+//
+//   - locally: the same function waits (a WaitGroup Wait, a channel
+//     receive, or a range over a channel) — the scoped fan-out/fan-in
+//     shape, e.g. Stats() with a local WaitGroup;
+//   - or anywhere in the package, keyed by the type: some method of T
+//     performs x.f.Wait(), <-x.f, or `for range x.f` — the done-channel
+//     Close shape.
+//
+// A goroutine with neither is flagged at the `go` statement. Fire-and-
+// forget goroutines that touch no package-local typed state are out of
+// scope — there is no owner whose Close could join them.
+package goroutinejoin
+
+import (
+	"go/ast"
+	"go/types"
+
+	"photonrail/internal/lint/analysis"
+)
+
+// Analyzer flags goroutines bound to a package-local type's state with
+// no join (Wait, channel receive, or range) locally or on the type.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinejoin",
+	Doc: "flags goroutines started against a type's state with no WaitGroup/done-channel " +
+		"join in the same function or on the type (the PR 5 goroutine-leak class)",
+	Run: run,
+}
+
+// candidate is one go statement bound to a package-local named type.
+type candidate struct {
+	goStmt *ast.GoStmt
+	typ    *types.TypeName
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	localPkg := pass.Pkg
+
+	// Pass 1: find go statements — the candidates needing evidence, and
+	// the launched bodies themselves (methods and literals), whose
+	// channel consumption is the goroutine running, not anyone joining
+	// it, and must not count as evidence.
+	var cands []candidate
+	goMethods := make(map[*types.TypeName]map[string]bool)
+	goLits := make(map[*ast.FuncLit]bool)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			localJoin := hasLocalJoin(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					goLits[lit] = true
+				}
+				t := boundType(g, info, localPkg)
+				if t == nil {
+					return true
+				}
+				if sel, ok := g.Call.Fun.(*ast.SelectorExpr); ok {
+					if goMethods[t] == nil {
+						goMethods[t] = make(map[string]bool)
+					}
+					goMethods[t][sel.Sel.Name] = true
+				}
+				if !localJoin {
+					cands = append(cands, candidate{g, t})
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: package-wide join evidence, skipping launched bodies.
+	joined := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if t := receiverType(fn, info, localPkg); t != nil && goMethods[t][fn.Name.Name] {
+				continue
+			}
+			collectEvidence(fn.Body, info, localPkg, goLits, joined)
+		}
+	}
+
+	for _, c := range cands {
+		if joined[c.typ] {
+			continue
+		}
+		pass.Reportf(c.goStmt.Pos(),
+			"goroutine bound to %s state is never joined: no Wait, channel receive, or range joins it in this function or anywhere on %s; "+
+				"add a done channel or WaitGroup and join it in Close (PR 5 reader-leak class)",
+			c.typ.Name(), c.typ.Name())
+	}
+	return nil
+}
+
+// hasLocalJoin reports whether a function body itself waits: a .Wait()
+// call, a channel receive, or a range over a channel.
+func hasLocalJoin(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SelectStmt:
+			// A select blocks on its comm cases; receiving any of them is
+			// a join point.
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// boundType resolves the package-local named type whose state the
+// goroutine touches, or nil if the goroutine is not bound to one.
+func boundType(g *ast.GoStmt, info *types.Info, localPkg *types.Package) *types.TypeName {
+	// go x.method(...): bound to x's type.
+	if sel, ok := g.Call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if t := localNamedType(info.Uses[id], localPkg); t != nil {
+				return t
+			}
+		}
+	}
+	// go func() { ... }(): bound to the first package-local typed
+	// variable the closure captures.
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		var found *types.TypeName
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return found == nil
+			}
+			if t := localNamedType(info.Uses[id], localPkg); t != nil {
+				found = t
+			}
+			return found == nil
+		})
+		return found
+	}
+	return nil
+}
+
+// localNamedType returns the named type behind obj's type when that
+// type is declared in localPkg (struct-backed state, not funcs).
+func localNamedType(obj types.Object, localPkg *types.Package) *types.TypeName {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := n.Obj()
+	if tn == nil || tn.Pkg() != localPkg {
+		return nil
+	}
+	return tn
+}
+
+// receiverType returns the package-local named type fn is a method
+// of, or nil for plain functions.
+func receiverType(fn *ast.FuncDecl, info *types.Info, localPkg *types.Package) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return localNamedType(info.Defs[fn.Recv.List[0].Names[0]], localPkg)
+}
+
+// collectEvidence records package-wide join evidence: x.f.Wait(),
+// <-x.f, or `for range x.f` where x is (a pointer to) a package-local
+// named type. Bodies of go-launched function literals are skipped —
+// the goroutine consuming its own channels is not a join.
+func collectEvidence(body *ast.BlockStmt, info *types.Info, localPkg *types.Package, goLits map[*ast.FuncLit]bool, joined map[*types.TypeName]bool) {
+	record := func(e ast.Expr) {
+		if t := rootLocalType(e, info, localPkg); t != nil {
+			joined[t] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && goLits[lit] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				record(sel.X)
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				record(n.X)
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					record(n.X)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootLocalType walks to the root identifier of a selector chain
+// (c.wg -> c) and returns its package-local named type, if any.
+func rootLocalType(e ast.Expr, info *types.Info, localPkg *types.Package) *types.TypeName {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			return localNamedType(info.Uses[x], localPkg)
+		default:
+			return nil
+		}
+	}
+}

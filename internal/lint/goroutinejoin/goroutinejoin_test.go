@@ -1,0 +1,12 @@
+package goroutinejoin_test
+
+import (
+	"testing"
+
+	"photonrail/internal/lint/analysistest"
+	"photonrail/internal/lint/goroutinejoin"
+)
+
+func TestGoroutinejoin(t *testing.T) {
+	analysistest.Run(t, goroutinejoin.Analyzer, "joinrepro")
+}

@@ -1,0 +1,127 @@
+// Package joinrepro distills the PR 5 goroutine leak for the
+// goroutinejoin analyzer corpus: a client whose Dial starts a reader
+// goroutine that Close never joins, alongside the fixed done-channel
+// shape and the sanctioned local fan-out/fan-in shape.
+package joinrepro
+
+import (
+	"net"
+	"sync"
+)
+
+// leakyClient is the PR 5 bug, distilled: readLoop signals exit on the
+// closed channel, but nothing ever receives it — Close tears the
+// socket down and returns while the reader is still draining, leaving
+// a goroutine (and racy late writes) behind per churned connection.
+type leakyClient struct {
+	conn   net.Conn
+	closed chan struct{}
+}
+
+func dialLeaky(addr string) (*leakyClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &leakyClient{conn: conn, closed: make(chan struct{})}
+	go c.readLoop() // want `goroutine bound to leakyClient state is never joined`
+	return c, nil
+}
+
+func (c *leakyClient) readLoop() {
+	buf := make([]byte, 1024)
+	for {
+		if _, err := c.conn.Read(buf); err != nil {
+			close(c.closed)
+			return
+		}
+	}
+}
+
+func (c *leakyClient) Close() error {
+	return c.conn.Close()
+}
+
+// joinedClient is the shipped fix: Close closes the socket to unblock
+// the reader, then receives on readDone before returning. Must stay
+// quiet.
+type joinedClient struct {
+	conn     net.Conn
+	readDone chan struct{}
+}
+
+func dialJoined(addr string) (*joinedClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &joinedClient{conn: conn, readDone: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *joinedClient) readLoop() {
+	defer close(c.readDone)
+	buf := make([]byte, 1024)
+	for {
+		if _, err := c.conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func (c *joinedClient) Close() error {
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}
+
+// pool fans work out per shard and joins with a local WaitGroup in the
+// same function — the Stats() shape. Must stay quiet.
+type pool struct {
+	shards []net.Conn
+	mu     sync.Mutex
+	total  int
+}
+
+func (p *pool) probeAll(payload []byte) {
+	var wg sync.WaitGroup
+	for _, conn := range p.shards {
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			n, _ := conn.Write(payload)
+			p.mu.Lock()
+			p.total += n
+			p.mu.Unlock()
+		}(conn)
+	}
+	wg.Wait()
+}
+
+// flusher starts a background loop against its own state with no join
+// anywhere on the type.
+type flusher struct {
+	out chan []byte
+}
+
+func (f *flusher) start() {
+	go f.flushLoop() // want `goroutine bound to flusher state is never joined`
+}
+
+func (f *flusher) flushLoop() {
+	for range f.out {
+	}
+}
+
+// detachedNotify is fire-and-forget over plain locals: no package type
+// owns the goroutine, so there is no Close to join it in. Out of
+// scope; must stay quiet.
+func detachedNotify(addr string, payload []byte) {
+	go func(a string, b []byte) {
+		if conn, err := net.Dial("tcp", a); err == nil {
+			conn.Write(b)
+			conn.Close()
+		}
+	}(addr, payload)
+}

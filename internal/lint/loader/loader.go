@@ -1,0 +1,294 @@
+// Package loader parses and typechecks Go packages for the raillint
+// suite using only the standard library and the go command: package
+// metadata and compiled export data come from `go list -export`, and
+// go/types consumes the export data through the gc importer. (The
+// usual golang.org/x/tools/go/packages stack is unavailable in this
+// build; this is the same list-then-typecheck shape, minimized.)
+//
+// Two entry points:
+//
+//   - Load resolves package patterns (./... and friends) inside a
+//     module and typechecks every non-dependency match — the raillint
+//     driver's path;
+//   - LoadDir typechecks one directory of sources whose imports are
+//     all standard library — the analysistest corpus path, where the
+//     corpus lives under testdata/ and is invisible to go list.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, typechecked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	// Files are the non-test files, typechecked into Types/Info.
+	Files []*ast.File
+	// TestFiles are in-package _test.go files, parsed only.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	// TypeErrors collects typechecking failures; analyzers still run on
+	// what checked (the driver surfaces the errors regardless).
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` raillint consumes.
+type listPkg struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Standard    bool
+	DepOnly     bool
+}
+
+// listFields is the -json field projection matching listPkg.
+const listFields = "ImportPath,Name,Dir,Export,GoFiles,TestGoFiles,Standard,DepOnly"
+
+// goList runs `go list -export -deps -json` in dir over args.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmdArgs := append([]string{"list", "-export", "-deps", "-json=" + listFields}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		q := p
+		pkgs = append(pkgs, &q)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the gc importer's lookup function over an
+// import-path -> export-data-file map.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check parses files (test files syntax-only) and typechecks the rest
+// against exports.
+func check(fset *token.FileSet, importPath, name, dir string, goFiles, testGoFiles []string, exports map[string]string) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Name: name, Dir: dir, Fset: fset, Info: newInfo()}
+	// File lists from `go list` are dir-relative; vet configs hand the
+	// tool absolute paths. Accept both.
+	abs := func(f string) string {
+		if filepath.IsAbs(f) {
+			return f
+		}
+		return filepath.Join(dir, f)
+	}
+	for _, f := range goFiles {
+		af, err := parser.ParseFile(fset, abs(f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+	for _, f := range testGoFiles {
+		af, err := parser.ParseFile(fset, abs(f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		pkg.TestFiles = append(pkg.TestFiles, af)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, pkg.Files, pkg.Info) // errors collected above
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Load resolves patterns in the module rooted at (or containing) dir
+// and returns every directly matched package, typechecked, in go list
+// order. Standard-library matches are skipped — raillint checks this
+// module's code, not the toolchain's.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		pkg, err := check(fset, p.ImportPath, p.Name, p.Dir, p.GoFiles, p.TestGoFiles, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckFiles parses and typechecks one package from explicit file
+// lists and an import-path -> export-data-file map. This is the
+// vettool entry point: the go command has already planned the build
+// and hands raillint the file and export lists in its vet config.
+func CheckFiles(importPath, name, dir string, goFiles, testGoFiles []string, exports map[string]string) (*Package, error) {
+	return check(token.NewFileSet(), importPath, name, dir, goFiles, testGoFiles, exports)
+}
+
+// stdExports caches standard-library export-data paths across LoadDir
+// calls (one `go list` per not-yet-seen import set).
+var stdExports = struct {
+	sync.Mutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+// LoadDir typechecks the single package whose sources sit directly in
+// dir. Files named *_test.go are parsed but not typechecked; all other
+// imports must be standard library. This is the corpus loader for
+// analysistest: corpora live under testdata/src/<pkg>/ where the go
+// tool does not look.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	var goFiles, testGoFiles []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testGoFiles = append(testGoFiles, e.Name())
+		} else {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	sort.Strings(testGoFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("loader: no non-test Go files in %s", dir)
+	}
+
+	// Collect the corpus's imports so their export data can be resolved
+	// before the real parse-and-check pass.
+	fset := token.NewFileSet()
+	imports := make(map[string]bool)
+	for _, f := range goFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, f), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		for _, imp := range af.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("loader: %w", err)
+			}
+			imports[path] = true
+		}
+	}
+	exports, err := resolveStdExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	name := filepath.Base(dir)
+	// A corpus dir under testdata/src/ keeps its src-relative path as
+	// the import path, so path-sensitive analyzers (ctxbg's internal/...
+	// predicate) see corpora the way they would see real packages.
+	importPath := name
+	const marker = "testdata/src/"
+	if slash := filepath.ToSlash(dir); strings.HasPrefix(slash, marker) {
+		importPath = slash[len(marker):]
+	} else if i := strings.Index(slash, "/"+marker); i >= 0 {
+		importPath = slash[i+1+len(marker):]
+	}
+	return check(token.NewFileSet(), importPath, name, dir, goFiles, testGoFiles, exports)
+}
+
+// resolveStdExports returns export-data paths covering imports and
+// their transitive dependencies, consulting and refreshing the
+// process-wide cache.
+func resolveStdExports(imports map[string]bool) (map[string]string, error) {
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	var missing []string
+	for path := range imports {
+		if path == "unsafe" { // resolved by the importer itself
+			continue
+		}
+		if _, ok := stdExports.m[path]; !ok {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		// Run from the process working directory: corpus imports are
+		// standard library, resolvable from any module context.
+		listed, err := goList(".", missing...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				stdExports.m[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(stdExports.m))
+	for k, v := range stdExports.m {
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCorpus lays out a stdlib-only package in a temp dir.
+func writeCorpus(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadDirTypechecksAndSplitsTestFiles(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{
+		"demo.go": `package demo
+
+import "fmt"
+
+func Hello() string { return fmt.Sprintf("hi %d", 7) }
+`,
+		"demo_test.go": `package demo
+
+func helper() string { return Hello() }
+`,
+	})
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Files) != 1 || len(pkg.TestFiles) != 1 {
+		t.Errorf("Files/TestFiles split = %d/%d, want 1/1", len(pkg.Files), len(pkg.TestFiles))
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Hello") == nil {
+		t.Error("typechecked package is missing Hello")
+	}
+}
+
+func TestLoadDirReportsTypeErrors(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{
+		"bad.go": `package bad
+
+func F() int { return "not an int" }
+`,
+	})
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Error("type mismatch produced no TypeErrors")
+	}
+}
+
+func TestLoadDirDerivesCorpusImportPath(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "testdata", "src", "internal", "demo")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte("package demo\n\nfunc F() {}\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.ImportPath != "internal/demo" {
+		t.Errorf("ImportPath = %q, want internal/demo (the src-relative path)", pkg.ImportPath)
+	}
+}
+
+func TestLoadResolvesModulePackages(t *testing.T) {
+	pkgs, err := Load(".", "photonrail/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load matched %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "photonrail/internal/units" {
+		t.Errorf("ImportPath = %q", pkg.ImportPath)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Errorf("type errors: %v", pkg.TypeErrors)
+	}
+	if pkg.Types == nil || pkg.Info == nil {
+		t.Error("Load returned package without type information")
+	}
+}
+
+func TestLoadRejectsUnknownPattern(t *testing.T) {
+	_, err := Load(".", "photonrail/internal/doesnotexist")
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Errorf("Load(unknown) = %v, want go list error", err)
+	}
+}

@@ -1,0 +1,12 @@
+package lockedblock_test
+
+import (
+	"testing"
+
+	"photonrail/internal/lint/analysistest"
+	"photonrail/internal/lint/lockedblock"
+)
+
+func TestLockedblock(t *testing.T) {
+	analysistest.Run(t, lockedblock.Analyzer, "lockedrepro")
+}

@@ -1,0 +1,282 @@
+// Package maporder defines the raillint analyzer that catches map
+// iteration order leaking into output.
+//
+// Go randomizes map iteration order per run. PR 2 shipped exactly this
+// bug: the opusnet server iterated its waiting-rank map to issue
+// grants, so grant order and telemetry varied run to run — a flake
+// golden tests only catch after it ships. The invariant: values that
+// flow OUT of a map-range loop in a way where order is observable
+// (slice rows, channel sends, rendered output, invoked callbacks) must
+// pass through a sort first.
+//
+// Mechanically, inside each `for ... range m` over a map the analyzer
+// taints the iteration variables and everything assigned from them,
+// then flags order-observable sinks fed by tainted values:
+//
+//   - a channel send;
+//   - an append to a slice declared outside the loop, unless the
+//     enclosing function later passes that slice to sort.*/slices.* —
+//     the collect-then-sort idiom is the canonical fix and stays quiet;
+//   - a call to a rendering/printing sink (fmt.Print*/Fprint*, or a
+//     method named Write/WriteString/Render*/AddRow);
+//   - a call THROUGH a tainted function value — the PR 2 shape, where
+//     the map value was a per-rank reply callback.
+//
+// A loop that merely counts, or fills another map, is order-neutral
+// and not flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"photonrail/internal/lint/analysis"
+)
+
+// Analyzer flags map-iteration order leaking into order-observable
+// sinks without an intervening sort.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map-range loops whose iteration order reaches slices, channels, " +
+		"output, or callbacks without an intervening sort (nondeterministic output order)",
+	Run: run,
+}
+
+// sinkMethods are method names whose call renders or emits data in
+// call order.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "AddRow": true,
+	"Render": true, "RenderText": true, "RenderCSV": true, "RenderJSON": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Visit every function body; function literals get their own
+		// visit via Inspect reaching nested RangeStmts either way.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc finds map-range loops directly inside fn (not inside
+// nested function literals, which get their own checkFunc).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // handled by its own visit
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkLoop(pass, body, rng)
+		return true
+	})
+}
+
+// checkLoop taints the range variables and flags tainted sinks in the
+// loop body.
+func checkLoop(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	tainted := make(map[types.Object]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	mark(rng.Key)
+	mark(rng.Value)
+
+	usesTainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Walk the loop body in source order so taint propagates through
+	// local assignments (`send := waiting[rank]` taints send).
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a deferred/stored closure is out of scope here
+		case *ast.AssignStmt:
+			taintedRHS := false
+			for _, rhs := range n.Rhs {
+				if usesTainted(rhs) {
+					taintedRHS = true
+				}
+				// The append-to-outer-slice sink.
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					checkAppend(pass, fnBody, rng, call, info, usesTainted)
+				}
+			}
+			if taintedRHS {
+				for _, lhs := range n.Lhs {
+					mark(lhs)
+				}
+			}
+		case *ast.SendStmt:
+			if usesTainted(n.Value) || usesTainted(n.Chan) {
+				pass.Reportf(n.Pos(),
+					"map iteration order reaches a channel send; collect and sort the keys first (map order is randomized per run)")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, info, tainted, usesTainted)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `outer = append(outer, <tainted>)` when outer is
+// declared outside the loop and never sorted in the enclosing
+// function.
+func checkAppend(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, call *ast.CallExpr, info *types.Info, usesTainted func(ast.Expr) bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	dstID, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	dst := info.Uses[dstID]
+	if dst == nil {
+		return
+	}
+	// Per-iteration slices declared inside the loop body reset each
+	// pass; their internal order is the (deterministic) body order.
+	if rng.Body.Pos() <= dst.Pos() && dst.Pos() <= rng.Body.End() {
+		return
+	}
+	taintedArg := false
+	for _, a := range call.Args[1:] {
+		if usesTainted(a) {
+			taintedArg = true
+		}
+	}
+	if !taintedArg {
+		return
+	}
+	if sortedInFunc(fnBody, info, dst) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"rows appended in map-iteration order with no sort of %q in this function; sort before use (map order is randomized per run)",
+		dst.Name())
+}
+
+// sortedInFunc reports whether fn contains a sorting call that
+// mentions obj: anything from package sort or slices, or a local
+// helper whose name says it sorts (sortPairs and friends).
+func sortedInFunc(fnBody *ast.BlockStmt, info *types.Info, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[fun.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return !found
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return !found
+			}
+		case *ast.Ident:
+			if !strings.Contains(strings.ToLower(fun.Name), "sort") {
+				return !found
+			}
+		default:
+			return !found
+		}
+		for _, a := range call.Args {
+			mentioned := false
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCall flags rendering sinks and calls through tainted function
+// values.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, info *types.Info, tainted map[types.Object]bool, usesTainted func(ast.Expr) bool) {
+	anyTaintedArg := false
+	for _, a := range call.Args {
+		if usesTainted(a) {
+			anyTaintedArg = true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// A call through a tainted function value: the PR 2 grant-order
+		// shape (`send := waiting[rank]; send(msg)`).
+		if obj := info.Uses[fun]; obj != nil && tainted[obj] {
+			pass.Reportf(call.Pos(),
+				"call through a function value selected by map iteration; iterate sorted keys instead (map order is randomized per run)")
+			return
+		}
+	case *ast.SelectorExpr:
+		if !anyTaintedArg {
+			return
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			pass.Reportf(call.Pos(),
+				"map iteration order reaches %s.%s output; sort the keys first (map order is randomized per run)", "fmt", fn.Name())
+			return
+		}
+		if sinkMethods[fun.Sel.Name] {
+			if _, isMethod := info.Selections[fun]; isMethod {
+				pass.Reportf(call.Pos(),
+					"map iteration order reaches a %s call; sort the keys first (map order is randomized per run)", fun.Sel.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"photonrail/internal/lint/analysistest"
+	"photonrail/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "maporderrepro")
+}

@@ -1,0 +1,121 @@
+// Package maporderrepro distills the PR 2 map-order bug for the
+// maporder analyzer corpus: grant callbacks invoked in map-iteration
+// order, plus the surrounding shapes (sends, appends, rendering) that
+// must or must not flag.
+package maporderrepro
+
+import (
+	"fmt"
+	"sort"
+)
+
+type msg struct {
+	Rank int
+}
+
+// grantAll is the PR 2 bug, distilled: the server ranged over the
+// waiting-callback map and invoked each grant callback directly, so
+// grant order — observable in telemetry and in which rank won a
+// contended window — was randomized per run.
+func grantAll(waiting map[int]func(msg)) {
+	for rank, send := range waiting {
+		send(msg{Rank: rank}) // want `call through a function value selected by map iteration`
+	}
+}
+
+// grantAllIndirect launders the callback through a local before the
+// call; taint must follow the assignment.
+func grantAllIndirect(waiting map[int]func(msg)) {
+	for rank := range waiting {
+		send := waiting[rank]
+		send(msg{Rank: rank}) // want `call through a function value selected by map iteration`
+	}
+}
+
+// grantAllSorted is the shipped fix: collect the ranks, sort them,
+// grant in rank order. Must stay quiet — including the key-collecting
+// append, because the function sorts that slice.
+func grantAllSorted(waiting map[int]func(msg)) {
+	ranks := make([]int, 0, len(waiting))
+	for rank := range waiting {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		waiting[rank](msg{Rank: rank})
+	}
+}
+
+// drainToChannel forwards map values to a channel in iteration order.
+func drainToChannel(pending map[int]msg, out chan msg) {
+	for _, m := range pending {
+		out <- m // want `map iteration order reaches a channel send`
+	}
+}
+
+// collectRows appends map entries to a result slice and never sorts
+// it — the caller sees rows in random order.
+func collectRows(cells map[string]int) []string {
+	var rows []string
+	for name, n := range cells {
+		rows = append(rows, fmt.Sprintf("%s=%d", name, n)) // want `rows appended in map-iteration order with no sort of "rows"`
+	}
+	return rows
+}
+
+// collectRowsSorted is the same collection with the sort applied
+// afterwards; must stay quiet.
+func collectRowsSorted(cells map[string]int) []string {
+	var rows []string
+	for name, n := range cells {
+		rows = append(rows, fmt.Sprintf("%s=%d", name, n))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// collectPairsHelperSorted collects then sorts through a local helper
+// — the Matching.Diff shape; the helper's name marks it a sort, so no
+// diagnostic.
+func collectPairsHelperSorted(cells map[string]int) []string {
+	var rows []string
+	for name := range cells {
+		rows = append(rows, name)
+	}
+	sortRows(rows)
+	return rows
+}
+
+func sortRows(rows []string) {
+	sort.Strings(rows)
+}
+
+// printEntries renders entries straight from the range — the shape
+// that makes golden tests flake.
+func printEntries(cells map[string]int) {
+	for name, n := range cells {
+		fmt.Printf("%s: %d\n", name, n) // want `map iteration order reaches fmt.Printf output`
+	}
+}
+
+// perIterationScratch builds a fresh slice per iteration; its internal
+// order is the deterministic body order, so no diagnostic.
+func perIterationScratch(cells map[string]int, use func([]int)) {
+	for _, n := range cells {
+		scratch := []int{}
+		scratch = append(scratch, n, n*2)
+		use(scratch)
+	}
+}
+
+// orderNeutral only aggregates: counting and re-keying into another
+// map are insensitive to iteration order.
+func orderNeutral(cells map[string]int) (int, map[int]string) {
+	total := 0
+	inverse := make(map[int]string)
+	for name, n := range cells {
+		total += n
+		inverse[n] = name
+	}
+	return total, inverse
+}

@@ -1,0 +1,166 @@
+// Package protoconsistency defines the raillint analyzer that keeps
+// the opusnet wire protocol's three ledgers in sync.
+//
+// Every time a PR added a MsgType (grid messages in PR 5, experiment
+// messages in PR 4), the same three places had to be touched by hand:
+// the payload registry that says which payload fields a type carries,
+// the decode/dispatch switch, and the fuzz/round-trip seed corpus that
+// actually exercises the frame on the wire. Forgetting one compiles
+// fine and fails later — an unknown type at dispatch, or a frame shape
+// the fuzzer has never seen.
+//
+// For any package that declares a type named MsgType, the analyzer
+// collects its constants and requires each one to appear:
+//
+//   - as a key in some map composite literal keyed by MsgType (the
+//     payload registry);
+//   - in a case clause of some switch over a MsgType-typed expression
+//     (the decode/dispatch switch);
+//   - as an identifier inside an in-package test function whose name
+//     contains "Fuzz" or "RoundTrip" (the seed corpus). This last
+//     check runs only when test files are in view — under `go vet`
+//     style drivers that pass none, it is skipped rather than
+//     spuriously failed.
+//
+// Constants missing a ledger are reported at their declaration.
+// Packages with no MsgType are out of scope.
+package protoconsistency
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"photonrail/internal/lint/analysis"
+)
+
+// Analyzer flags MsgType constants absent from the payload registry
+// map, the decode switch, or the fuzz/round-trip seed corpus.
+var Analyzer = &analysis.Analyzer{
+	Name: "protoconsistency",
+	Doc: "flags MsgType constants missing from the payload registry map, the decode " +
+		"switch, or the fuzz/round-trip seed corpus (the three protocol ledgers)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	obj := pass.Pkg.Scope().Lookup("MsgType")
+	msgType, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+
+	// The package's MsgType constants, in declaration order.
+	var consts []*types.Const
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if named, ok := c.Type().(*types.Named); ok && named.Obj() == msgType {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	isMsgType := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() == msgType
+	}
+
+	inRegistry := make(map[*types.Const]bool)
+	inSwitch := make(map[*types.Const]bool)
+	markUses := func(e ast.Expr, set map[*types.Const]bool) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+					set[c] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				t := pass.TypesInfo.TypeOf(n)
+				if t == nil {
+					return true
+				}
+				m, ok := t.Underlying().(*types.Map)
+				if !ok || !isMsgType(m.Key()) {
+					return true
+				}
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						markUses(kv.Key, inRegistry)
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(n.Tag)
+				if t == nil || !isMsgType(t) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						for _, e := range cc.List {
+							markUses(e, inSwitch)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Seed-corpus ledger: test files are parsed without type
+	// information, so membership is by identifier name inside
+	// Fuzz*/…RoundTrip* functions.
+	seeded := make(map[string]bool)
+	haveTests := len(pass.TestFiles) > 0
+	for _, f := range pass.TestFiles {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if !strings.Contains(name, "Fuzz") && !strings.Contains(name, "RoundTrip") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					seeded[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+
+	for _, c := range consts {
+		var missing []string
+		if !inRegistry[c] {
+			missing = append(missing, "the payload registry map")
+		}
+		if !inSwitch[c] {
+			missing = append(missing, "the decode switch")
+		}
+		if haveTests && !seeded[c.Name()] {
+			missing = append(missing, "the fuzz/round-trip seed corpus")
+		}
+		if len(missing) > 0 {
+			pass.Reportf(c.Pos(),
+				"MsgType constant %s is missing from %s; every message type must be registered, dispatched, and seeded",
+				c.Name(), strings.Join(missing, " and "))
+		}
+	}
+	return nil
+}

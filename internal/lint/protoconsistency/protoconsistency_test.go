@@ -1,0 +1,12 @@
+package protoconsistency_test
+
+import (
+	"testing"
+
+	"photonrail/internal/lint/analysistest"
+	"photonrail/internal/lint/protoconsistency"
+)
+
+func TestProtoconsistency(t *testing.T) {
+	analysistest.Run(t, protoconsistency.Analyzer, "protorepro", "protonotests")
+}

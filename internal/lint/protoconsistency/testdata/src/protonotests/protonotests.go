@@ -1,0 +1,26 @@
+// Package protonotests has no test files in view — the vettool
+// situation. The seed-corpus ledger must be skipped silently; only the
+// registry and switch are checked, and both are complete here.
+package protonotests
+
+// MsgType tags a wire frame.
+type MsgType uint8
+
+const (
+	MsgA MsgType = iota + 1
+	MsgB
+)
+
+var registry = map[MsgType]bool{
+	MsgA: true,
+	MsgB: true,
+}
+
+// Decode covers every constant.
+func Decode(t MsgType) bool {
+	switch t {
+	case MsgA, MsgB:
+		return registry[t]
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+// Package protorepro exercises the protoconsistency ledgers: four
+// message types where one is fully wired and each of the other three
+// is missing exactly one ledger.
+package protorepro
+
+// MsgType tags a wire frame, as in opusnet.
+type MsgType uint8
+
+const (
+	// MsgPing is wired into all three ledgers: quiet.
+	MsgPing MsgType = iota + 1
+	// MsgPong is registered and dispatched but never fuzz-seeded.
+	MsgPong // want `MsgType constant MsgPong is missing from the fuzz/round-trip seed corpus`
+	// MsgData is registered and seeded but the decode switch forgot it.
+	MsgData // want `MsgType constant MsgData is missing from the decode switch`
+	// MsgQuit is dispatched and seeded but never made the registry.
+	MsgQuit // want `MsgType constant MsgQuit is missing from the payload registry map`
+)
+
+// payloadRegistry is the registry ledger.
+var payloadRegistry = map[MsgType]string{
+	MsgPing: "ping",
+	MsgPong: "pong",
+	MsgData: "data",
+}
+
+// Dispatch is the decode-switch ledger.
+func Dispatch(t MsgType) string {
+	switch t {
+	case MsgPing:
+		return payloadRegistry[t]
+	case MsgPong:
+		return payloadRegistry[t]
+	case MsgQuit:
+		return "quit"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,13 @@
+package protorepro
+
+import "testing"
+
+// TestDispatchRoundTrip is the seed-corpus ledger: constants named
+// here (or in a Fuzz function) count as seeded.
+func TestDispatchRoundTrip(t *testing.T) {
+	for _, mt := range []MsgType{MsgPing, MsgData, MsgQuit} {
+		if Dispatch(mt) == "" {
+			t.Fatalf("empty dispatch for %d", mt)
+		}
+	}
+}

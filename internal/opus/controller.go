@@ -333,7 +333,7 @@ func (c *Controller) processNow(rs *railState) {
 					serviceable = false
 					break
 				}
-				reqTears = append(reqTears, name)
+				reqTears = append(reqTears, name) //lint:allow maporder reqTears is consumed into the tearDown set; order is immaterial
 			}
 		}
 		if !serviceable {

@@ -1,0 +1,47 @@
+package opusnet
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// acceptBackoff is the retry delay after a transient Accept error.
+// Persistent errors (e.g. fd exhaustion) would otherwise busy-spin the
+// loop and flood the log.
+const acceptBackoff = 10 * time.Millisecond
+
+// AcceptLoop runs the accept loop shared by every photonrail daemon
+// (raild, the fleet coordinator, and the opusnet server itself):
+// accept until the listener closes or closed() reports shutdown, and
+// hand each connection to register.
+//
+// register owns the locked closed-vs-track decision: it returns false
+// when the server began shutting down between Accept and registration,
+// and the loop then closes the connection and exits. Otherwise
+// register is expected to track the connection and start its handler.
+//
+// Accept errors other than listener closure are reported to logf (when
+// non-nil) and retried after a short backoff.
+func AcceptLoop(ln net.Listener, closed func() bool, logf func(err error), register func(net.Conn) bool) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if closed() {
+				return
+			}
+			if logf != nil {
+				logf(err)
+			}
+			time.Sleep(acceptBackoff)
+			continue
+		}
+		if !register(conn) {
+			_ = conn.Close()
+			return
+		}
+	}
+}

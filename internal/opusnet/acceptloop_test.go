@@ -1,0 +1,116 @@
+package opusnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// scriptedListener feeds AcceptLoop a fixed sequence of Accept
+// results.
+type scriptedListener struct {
+	net.Listener
+	script []acceptResult
+	i      int
+}
+
+type acceptResult struct {
+	conn net.Conn
+	err  error
+}
+
+func (l *scriptedListener) Accept() (net.Conn, error) {
+	if l.i >= len(l.script) {
+		return nil, net.ErrClosed
+	}
+	r := l.script[l.i]
+	l.i++
+	return r.conn, r.err
+}
+
+// stubConn only needs Close for these tests.
+type stubConn struct {
+	net.Conn
+	closed bool
+}
+
+func (c *stubConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+func TestAcceptLoopHandsConnsToRegister(t *testing.T) {
+	a, b := &stubConn{}, &stubConn{}
+	ln := &scriptedListener{script: []acceptResult{{conn: a}, {conn: b}}}
+	var got []net.Conn
+	AcceptLoop(ln,
+		func() bool { return false },
+		nil,
+		func(conn net.Conn) bool {
+			got = append(got, conn)
+			return true
+		})
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("register saw %v, want [a b]", got)
+	}
+}
+
+func TestAcceptLoopRetriesTransientErrors(t *testing.T) {
+	transient := errors.New("too many open files")
+	c := &stubConn{}
+	ln := &scriptedListener{script: []acceptResult{{err: transient}, {conn: c}}}
+	var logged []error
+	var got int
+	AcceptLoop(ln,
+		func() bool { return false },
+		func(err error) { logged = append(logged, err) },
+		func(conn net.Conn) bool {
+			got++
+			return true
+		})
+	if got != 1 {
+		t.Fatalf("register ran %d times, want 1 (after retrying the transient error)", got)
+	}
+	if len(logged) != 1 || !errors.Is(logged[0], transient) {
+		t.Fatalf("logged %v, want the transient error once", logged)
+	}
+}
+
+func TestAcceptLoopStopsWhenClosedReports(t *testing.T) {
+	// A non-closure error with closed() true must exit without logging
+	// or retrying — the shutdown path.
+	ln := &scriptedListener{script: []acceptResult{{err: errors.New("boom")}, {conn: &stubConn{}}}}
+	var logged int
+	AcceptLoop(ln,
+		func() bool { return true },
+		func(err error) { logged++ },
+		func(conn net.Conn) bool { t.Fatal("register after shutdown"); return false })
+	if logged != 0 {
+		t.Fatalf("logged %d errors during shutdown, want 0", logged)
+	}
+	if ln.i != 1 {
+		t.Fatalf("accept called %d times, want 1", ln.i)
+	}
+}
+
+func TestAcceptLoopClosesConnWhenRegisterRefuses(t *testing.T) {
+	c := &stubConn{}
+	ln := &scriptedListener{script: []acceptResult{{conn: c}}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		AcceptLoop(ln,
+			func() bool { return true },
+			nil,
+			func(conn net.Conn) bool { return false })
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcceptLoop did not exit after register refused")
+	}
+	if !c.closed {
+		t.Fatal("refused connection was not closed")
+	}
+}

@@ -38,8 +38,17 @@ func Dial(addr string, rank int) (*Client, error) {
 	return c, nil
 }
 
-// Close tears the connection down; outstanding calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears the connection down and joins the read loop; outstanding
+// calls fail. Closing the socket forces the loop's pending ReadMessage
+// to error out, so the receive cannot hang — and once Close returns, no
+// goroutine of this client is left running (the raild client leaked its
+// reader here before PR 5-style joining; raillint's goroutinejoin
+// guards the shape now).
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.closed
+	return err
+}
 
 // Rank returns the client's global rank.
 func (c *Client) Rank() int { return c.rank }

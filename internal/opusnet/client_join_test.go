@@ -1,0 +1,61 @@
+package opusnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientCloseJoinsReadLoop pins the PR 5-class fix in Client.Close:
+// after Close returns, the read loop has fully exited (its error path
+// ran and recorded the connection error), so no client goroutine
+// outlives the handle.
+func TestClientCloseJoinsReadLoop(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	c, err := Dial(ln.Addr().String(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case conn := <-accepted:
+		defer conn.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never accepted the dial")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- c.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return; read-loop join hangs")
+	}
+
+	// The join guarantee: the loop's teardown already happened by the
+	// time Close returned — no sleep or retry needed to observe it.
+	c.mu.Lock()
+	readErr := c.readErr
+	c.mu.Unlock()
+	if readErr == nil {
+		t.Fatal("Close returned before the read loop recorded its exit")
+	}
+
+	// Double Close stays safe: the joined channel is closed, so the
+	// second receive returns immediately.
+	if err := c.Close(); err == nil {
+		t.Fatal("second Close reported nil; want the net.ErrClosed from the already-closed conn")
+	}
+}

@@ -92,7 +92,7 @@ func Replay(addr string, p *workload.Program) (int, error) {
 		for _, s := range succ[id] {
 			remaining[s]--
 			if remaining[s] == 0 {
-				ready <- s
+				ready <- s //lint:allow lockedblock ready is buffered to len(p.Tasks) and each task enqueues once, so the send never blocks
 			}
 		}
 	}

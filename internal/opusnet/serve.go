@@ -59,7 +59,7 @@ func (cs *ConnState) teardown() {
 	cs.closed = true
 	cancels := make([]context.CancelFunc, 0, len(cs.cancels))
 	for _, c := range cs.cancels {
-		cancels = append(cancels, c)
+		cancels = append(cancels, c) //lint:allow maporder a set of cancel funcs; invocation order is immaterial
 	}
 	cs.cancels = make(map[uint64]context.CancelFunc)
 	cs.mu.Unlock()

@@ -1,7 +1,6 @@
 package opusnet
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -129,35 +128,25 @@ func (s *Server) Close() error {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
+	AcceptLoop(s.ln,
+		func() bool {
 			s.mu.Lock()
-			done := s.closed
-			s.mu.Unlock()
-			if done {
-				return
+			defer s.mu.Unlock()
+			return s.closed
+		},
+		func(err error) { log.Printf("opusnet: accept: %v", err) },
+		func(conn net.Conn) bool {
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return false
 			}
-			log.Printf("opusnet: accept: %v", err)
-			// Persistent accept errors (e.g. fd exhaustion) would
-			// otherwise busy-spin the loop and flood the log.
-			time.Sleep(10 * time.Millisecond)
-			continue
-		}
-		s.mu.Lock()
-		if s.closed {
+			s.conns[conn] = true
 			s.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		s.conns[conn] = true
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.handle(conn)
-	}
+			s.wg.Add(1)
+			go s.handle(conn)
+			return true
+		})
 }
 
 // replyBuffer bounds the per-connection reply queue. A healthy shim has

@@ -156,6 +156,7 @@ func New(cfg Config) (*Coordinator, error) {
 	if batchTimeout == 0 {
 		batchTimeout = DefaultBatchTimeout
 	}
+	//lint:allow ctxbg the coordinator's lifetime root: request contexts derive from it and Close cancels it
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	f := &Coordinator{
 		ln:           ln,
@@ -255,35 +256,29 @@ func (f *Coordinator) Stats() opusnet.CacheStatsPayload {
 
 func (f *Coordinator) acceptLoop() {
 	defer f.wg.Done()
-	for {
-		conn, err := f.ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
+	opusnet.AcceptLoop(f.ln,
+		func() bool {
 			f.mu.Lock()
-			done := f.closed
-			f.mu.Unlock()
-			if done {
-				return
-			}
+			defer f.mu.Unlock()
+			return f.closed
+		},
+		func(err error) {
 			if f.logf != nil {
 				f.logf("railfleet: accept: %v", err)
 			}
-			time.Sleep(10 * time.Millisecond)
-			continue
-		}
-		f.mu.Lock()
-		if f.closed {
+		},
+		func(conn net.Conn) bool {
+			f.mu.Lock()
+			if f.closed {
+				f.mu.Unlock()
+				return false
+			}
+			f.conns[conn] = true
 			f.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		f.conns[conn] = true
-		f.mu.Unlock()
-		f.wg.Add(1)
-		go f.handle(conn)
-	}
+			f.wg.Add(1)
+			go f.handle(conn)
+			return true
+		})
 }
 
 // handle serves one client connection on opusnet's shared serving

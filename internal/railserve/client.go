@@ -130,7 +130,7 @@ func (c *Client) start(m *opusnet.Message, onProgress func(done, total int)) (*p
 	c.pending[m.Seq] = p
 	c.mu.Unlock()
 	c.wmu.Lock()
-	err := opusnet.WriteMessage(c.conn, m)
+	err := opusnet.WriteMessage(c.conn, m) //lint:allow lockedblock wmu exists to serialize frame writes; it guards nothing a reader blocks on
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -157,7 +157,7 @@ type GridRun struct {
 // ticks as the daemon streams them (calls are serialized per request;
 // ticks may be dropped on a slow connection — they are advisory).
 func (c *Client) RunGrid(spec scenario.Spec, onProgress func(done, total int)) (*GridRun, error) {
-	return c.RunGridCtx(context.Background(), spec, onProgress)
+	return c.RunGridCtx(context.Background(), spec, onProgress) //lint:allow ctxbg deprecated pre-context wrapper; callers with a context use RunGridCtx
 }
 
 // RunGridCtx is RunGrid bounded by ctx: on expiry the call is
@@ -277,6 +277,7 @@ func (c *Client) RunExperiment(ctx context.Context, req opusnet.ExpRequestPayloa
 // sendCancel writes a cancel frame for an outstanding request's seq.
 func (c *Client) sendCancel(seq uint64) {
 	c.wmu.Lock()
+	//lint:allow lockedblock wmu exists to serialize frame writes; it guards nothing a reader blocks on
 	_ = opusnet.WriteMessage(c.conn, &opusnet.Message{Type: opusnet.MsgCancel, Seq: seq})
 	c.wmu.Unlock()
 }
@@ -290,7 +291,7 @@ func (c *Client) forget(seq uint64) {
 
 // Stats fetches the daemon's serving telemetry.
 func (c *Client) Stats() (opusnet.CacheStatsPayload, error) {
-	return c.StatsCtx(context.Background())
+	return c.StatsCtx(context.Background()) //lint:allow ctxbg deprecated pre-context wrapper; callers with a context use StatsCtx
 }
 
 // StatsCtx is Stats bounded by ctx — the fleet coordinator uses it so

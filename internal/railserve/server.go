@@ -42,7 +42,6 @@ package railserve
 import (
 	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -180,6 +179,7 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	//lint:allow ctxbg the daemon's lifetime root: every request context derives from it and Close cancels it
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
 		ln:         ln,
@@ -251,37 +251,29 @@ func (s *Server) Drain() { s.execWG.Wait() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
+	opusnet.AcceptLoop(s.ln,
+		func() bool {
 			s.mu.Lock()
-			done := s.closed
-			s.mu.Unlock()
-			if done {
-				return
-			}
+			defer s.mu.Unlock()
+			return s.closed
+		},
+		func(err error) {
 			if s.logf != nil {
 				s.logf("railserve: accept: %v", err)
 			}
-			// Persistent accept errors (e.g. fd exhaustion) would
-			// otherwise busy-spin the loop and flood the log.
-			time.Sleep(10 * time.Millisecond)
-			continue
-		}
-		s.mu.Lock()
-		if s.closed {
+		},
+		func(conn net.Conn) bool {
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return false
+			}
+			s.conns[conn] = true
 			s.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		s.conns[conn] = true
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.handle(conn)
-	}
+			s.wg.Add(1)
+			go s.handle(conn)
+			return true
+		})
 }
 
 // handle serves one client connection on opusnet's shared serving

@@ -20,6 +20,7 @@ photonrail/cmd/opusim 25
 photonrail/cmd/railclient 70
 photonrail/cmd/railcost 70
 photonrail/cmd/raild 55
+photonrail/cmd/raillint 28
 photonrail/cmd/railfleet 60
 photonrail/cmd/railgrid 60
 photonrail/cmd/railsweep 60
@@ -29,6 +30,16 @@ photonrail/internal/cost 90
 photonrail/internal/exp 90
 photonrail/internal/faultnet 80
 photonrail/internal/gridcli 85
+photonrail/internal/lint/allow 88
+photonrail/internal/lint/analysis 90
+photonrail/internal/lint/analysistest 78
+photonrail/internal/lint/ctxbg 90
+photonrail/internal/lint/driver 78
+photonrail/internal/lint/goroutinejoin 88
+photonrail/internal/lint/loader 80
+photonrail/internal/lint/lockedblock 65
+photonrail/internal/lint/maporder 82
+photonrail/internal/lint/protoconsistency 84
 photonrail/internal/metrics 90
 photonrail/internal/model 80
 photonrail/internal/netsim 87
