@@ -93,9 +93,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		_, err = fmt.Fprintf(w, "daemon: cache %d hits / %d misses / %d evictions, %d in flight; grids %d executed / %d deduped; exps %d executed / %d deduped\n",
+		if _, err = fmt.Fprintf(w, "daemon: cache %d hits / %d misses / %d evictions, %d in flight; grids %d executed / %d deduped; exps %d executed / %d deduped\n",
 			st.Hits, st.Misses, st.Evictions, st.InFlight,
-			st.GridsExecuted, st.GridsDeduped, st.ExpsExecuted, st.ExpsDeduped)
+			st.GridsExecuted, st.GridsDeduped, st.ExpsExecuted, st.ExpsDeduped); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "stages: build %d/%d, provision %d/%d (seeds %d/%d), time %d/%d (hits/misses)\n",
+			st.BuildHits, st.BuildMisses,
+			st.ProvisionHits, st.ProvisionMisses, st.SeedHits, st.SeedMisses,
+			st.TimeHits, st.TimeMisses)
 		return err
 	}
 

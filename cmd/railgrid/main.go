@@ -102,6 +102,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		st := en.CacheStats()
 		fmt.Fprintf(stderr, "engine: %d workers, cache %d hits / %d misses / %d evictions\n",
 			en.Workers(), st.Hits, st.Misses, st.Evictions)
+		fmt.Fprintf(stderr, "stages: build %d/%d, provision %d/%d (seeds %d/%d), time %d/%d (hits/misses)\n",
+			st.Build.Hits, st.Build.Misses,
+			st.Provision.Hits, st.Provision.Misses, st.SeedHits, st.SeedMisses,
+			st.Time.Hits, st.Time.Misses)
 	}
 	return nil
 }

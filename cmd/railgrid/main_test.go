@@ -59,8 +59,9 @@ func TestRunGridJSONShape(t *testing.T) {
 // TestFig8GridParallelMatchesSequential is the acceptance check: the
 // built-in ≥24-cell grid in parallel produces output byte-identical to
 // -parallel=1, with skips reported and the shared electrical baselines
-// simulated exactly once per batch (5 workloads + 15 photonic + 15
-// provisioned points = 35 misses; every further lookup is a hit).
+// simulated exactly once per batch (5 workload baselines + 15 photonic
+// + 15 provisioned points + 10 compiled programs = 45 misses; every
+// further lookup is a hit).
 func TestFig8GridParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulates the full fig8-5d grid twice")
@@ -84,8 +85,8 @@ func TestFig8GridParallelMatchesSequential(t *testing.T) {
 		t.Error("skips not reported in table output")
 	}
 	for _, stats := range []string{seqStats, parStats} {
-		if !strings.Contains(stats, "/ 35 misses") {
-			t.Errorf("cache stats = %q, want exactly 35 misses (shared baselines simulated once)", stats)
+		if !strings.Contains(stats, "/ 45 misses") {
+			t.Errorf("cache stats = %q, want exactly 45 misses (shared baselines simulated once)", stats)
 		}
 	}
 }

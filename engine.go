@@ -2,9 +2,15 @@ package photonrail
 
 import (
 	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"photonrail/internal/exp"
 	"photonrail/internal/netsim"
+	"photonrail/internal/topo"
+	"photonrail/internal/units"
+	"photonrail/internal/workload"
 )
 
 // Engine runs the package's figure/table experiments on a concurrent
@@ -17,23 +23,56 @@ import (
 // Output is deterministic and order-stable: results are gathered by
 // submission index, never completion order, so an Engine with N workers
 // produces byte-identical results to an Engine with one.
+//
+// Simulation runs as a staged pipeline with one memo entry per stage,
+// all under the engine's single bounded LRU via hierarchical keys:
+//
+//	build:     Workload → *workload.Program (pure per workload and
+//	           topology kind; one immutable Program is shared by every
+//	           fabric/latency variant)
+//	provision: (Workload, latency) → the provisioned-stable schedule,
+//	           whose converged per-rail Profile also lands in a
+//	           latency-free seed cache keyed on the Workload alone
+//	time:      (Workload, Fabric) → one timed execution
+//
+// Each stage consults the stage below it through the same cache, so a
+// 48-cell grid compiles each workload once, runs each reactive
+// simulation once, and reuses both across every latency point.
 type Engine struct {
 	pool *exp.Engine
+
+	// profMu guards the Provision stage's latency-free caches: interned
+	// canonical profiles (content-equal profiles share one object, and
+	// therefore one memoized speculation plan) and the converged-profile
+	// seeds consulted when a new latency point starts its convergence
+	// loop.
+	profMu   sync.Mutex
+	profiles map[string]*netsim.Profile
+	seeds    map[string]*netsim.Profile
+
+	seedHits, seedMisses atomic.Uint64
 }
 
 // Cache entry costs, in simulation units: a traced result pins the full
 // per-op trace (orders of magnitude more memory than the timing
 // summary), so it weighs more against a bounded engine's budget.
 const (
-	costSim    = 1
-	costTraced = 8
+	costSim     = 1
+	costTraced  = 8
+	costProgram = 1
 )
+
+// maxInternedProfiles caps the Provision stage's profile intern table.
+// Interning is purely an optimization (sharing memoized speculation
+// plans between content-equal profiles), so when a long-running engine
+// crosses the cap the table is simply dropped and restarted.
+const maxInternedProfiles = 4096
 
 // NewEngine builds an engine with the given worker count and an
 // unbounded cache; workers <= 0 selects runtime.NumCPU(). Each engine
 // owns an independent cache.
 func NewEngine(workers int) *Engine {
-	return &Engine{pool: exp.New(workers)}
+	return newEngine(exp.New(workers))
 }
 
 // NewBoundedEngine builds an engine whose memo cache is capped at
@@ -43,7 +82,15 @@ func NewEngine(workers int) *Engine {
 // what long-running servers (cmd/raild) use to stay memory-safe
 // indefinitely; one-shot CLI runs keep the unbounded default.
 func NewBoundedEngine(workers int, maxCost int64) *Engine {
-	return &Engine{pool: exp.NewBounded(workers, maxCost)}
+	return newEngine(exp.NewBounded(workers, maxCost))
+}
+
+func newEngine(pool *exp.Engine) *Engine {
+	return &Engine{
+		pool:     pool,
+		profiles: make(map[string]*netsim.Profile),
+		seeds:    make(map[string]*netsim.Profile),
+	}
 }
 
 // defaultEngine backs the package-level experiment functions
@@ -65,24 +112,48 @@ func DefaultEngine() *Engine { return defaultEngine }
 // Workers reports the pool size.
 func (en *Engine) Workers() int { return en.pool.Workers() }
 
+// StageStats is one pipeline stage's share of the cache telemetry.
+type StageStats struct {
+	Hits, Misses uint64
+}
+
 // CacheStats is the engine's memoization telemetry: Hits counts
 // requests served from a memoized (or in-flight) simulation, Misses
 // counts simulations actually run, Evictions counts results dropped by
 // a bounded engine's LRU cap, and InFlight is the number of simulations
 // currently running.
+//
+// Build, Provision, and Time break the aggregate Hits/Misses down by
+// pipeline stage. SeedHits counts provisioned-stable convergence loops
+// that started from a neighboring latency's converged profile;
+// SeedMisses counts loops that had to start from the reactive profile.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
 	InFlight                int64
+
+	Build, Provision, Time StageStats
+
+	SeedHits, SeedMisses uint64
 }
 
 // CacheStats reports the telemetry accumulated since construction.
 func (en *Engine) CacheStats() CacheStats {
 	st := en.pool.Stats()
+	stages := en.pool.StageStats()
+	stage := func(name string) StageStats {
+		s := stages[name]
+		return StageStats{Hits: s.Hits, Misses: s.Misses}
+	}
 	return CacheStats{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evictions: st.Evictions,
-		InFlight:  st.InFlight,
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Evictions:  st.Evictions,
+		InFlight:   st.InFlight,
+		Build:      stage("build"),
+		Provision:  stage("provision"),
+		Time:       stage("time"),
+		SeedHits:   en.seedHits.Load(),
+		SeedMisses: en.seedMisses.Load(),
 	}
 }
 
@@ -90,7 +161,13 @@ func (en *Engine) CacheStats() CacheStats {
 // keep accumulating). In-flight simulations survive: their callers
 // still get results, and concurrent requests for an in-flight key keep
 // joining the running computation instead of duplicating it.
-func (en *Engine) ResetCache() { en.pool.ResetCache() }
+func (en *Engine) ResetCache() {
+	en.pool.ResetCache()
+	en.profMu.Lock()
+	en.profiles = make(map[string]*netsim.Profile)
+	en.seeds = make(map[string]*netsim.Profile)
+	en.profMu.Unlock()
+}
 
 // Simulate is the memoized form of the package-level Simulate: the
 // result of each distinct (Workload, Fabric) pair is computed once per
@@ -104,17 +181,144 @@ func (en *Engine) Simulate(w Workload, f Fabric) (*Result, error) {
 // promptly, but a simulation other callers have joined keeps running
 // for them, and its result still lands in the cache. The simulation
 // itself becomes cancellable only once its last waiter departs.
+//
+// This is the pipeline's Time stage: the compiled Program comes from
+// the Build stage's memo (shared across every fabric/latency variant of
+// the workload on the same topology kind), and only the timed execution
+// runs here.
 func (en *Engine) SimulateCtx(ctx context.Context, w Workload, f Fabric) (*Result, error) {
-	return exp.CachedCostCtx(ctx, en.pool, exp.Key("simulate", w, f), costSim, func(context.Context) (*Result, error) {
-		return Simulate(w, f)
+	return exp.CachedCostCtx(ctx, en.pool, "time:"+exp.Key("simulate", w, f), costSim, func(cctx context.Context) (*Result, error) {
+		topoKind, mode, err := fabricRealization(f)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := en.programCtx(cctx, w, topoKind)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := runProgram(prog, mode, f, false)
+		return res, err
 	})
 }
 
-// provisionedStableCtx is the memoized simulateProvisionedStable.
-func (en *Engine) provisionedStableCtx(ctx context.Context, w Workload, latencyMS float64) (*Result, error) {
-	return exp.CachedCostCtx(ctx, en.pool, exp.Key("provisioned-stable", w, latencyMS), costSim, func(context.Context) (*Result, error) {
-		return simulateProvisionedStable(w, latencyMS)
+// programCtx is the Build stage: Workload → compiled immutable
+// *workload.Program, memoized per canonical workload key and topology
+// kind. Every Time- and Provision-stage run of the workload shares the
+// one cached Program.
+func (en *Engine) programCtx(ctx context.Context, w Workload, kind topo.FabricKind) (*workload.Program, error) {
+	return exp.CachedCostCtx(ctx, en.pool, "build:"+exp.Key(w, int(kind)), costProgram, func(context.Context) (*workload.Program, error) {
+		return w.build(kind)
 	})
+}
+
+// provisionedStableCtx is the memoized provisioned-stable run — the
+// pipeline's Provision stage. The memo key carries the latency, but the
+// stage reuses everything latency-independent from below it: the Build
+// stage's Program, the Time stage's reactive run at this latency (the
+// same entry a Photonic grid cell uses), and — across latencies — the
+// latency-free seed cache of converged profiles.
+//
+// Convergence seeding contract: a converged profile stored by one
+// latency may seed another latency's convergence loop only when it is
+// content-equal to that loop's own starting profile (the reactive
+// profile). Equal starting content means the pass trajectory is
+// byte-identical to the unseeded one, so seeding can only ever share
+// memoized speculation work, never change a result. When the seed
+// doesn't match, the loop falls back to full passes from the reactive
+// profile.
+func (en *Engine) provisionedStableCtx(ctx context.Context, w Workload, latencyMS float64) (*Result, error) {
+	return exp.CachedCostCtx(ctx, en.pool, "provision:"+exp.Key("provisioned-stable", w, latencyMS), costSim, func(cctx context.Context) (*Result, error) {
+		return en.provisionedStableStaged(cctx, w, latencyMS)
+	})
+}
+
+func (en *Engine) provisionedStableStaged(ctx context.Context, w Workload, latencyMS float64) (*Result, error) {
+	prog, err := en.programCtx(ctx, w, topo.FabricPhotonicRail)
+	if err != nil {
+		return nil, err
+	}
+	// Profiling pass (reactive) — also the fallback schedule. Fetched
+	// through the Time stage, so a grid's Photonic cell at the same
+	// latency and this stage share one simulation.
+	reactive, err := en.SimulateCtx(ctx, w, Fabric{Kind: PhotonicRail, ReconfigLatencyMS: latencyMS})
+	if err != nil {
+		return nil, err
+	}
+	wkey := exp.Key("provision-seed", w)
+	best := reactive.inner
+	profile := en.internProfile(wkey, best.Profile)
+	if seed := en.lookupSeed(wkey); seed != nil && seed.Equal(profile) {
+		en.seedHits.Add(1)
+		// Same content as the reactive profile, so the trajectory is
+		// unchanged; adopting the seed object shares its memoized
+		// speculation plans.
+		profile = seed
+	} else {
+		en.seedMisses.Add(1)
+	}
+	latency := units.FromMilliseconds(latencyMS)
+	converged := false
+	for pass := 0; pass < 3; pass++ {
+		res, err := netsim.Run(prog, netsim.Options{
+			Mode:            netsim.Photonic,
+			ReconfigLatency: latency,
+			Provision:       true,
+			Profile:         profile,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Total < best.Total {
+			best = res
+		}
+		next := en.internProfile(wkey, res.Profile)
+		if next.Equal(profile) {
+			converged = true
+			break
+		}
+		profile = next
+	}
+	if converged {
+		en.storeSeed(wkey, profile)
+	}
+	return wrapResult(best), nil
+}
+
+// internProfile canonicalizes a profile by content within one
+// workload's namespace: the first profile seen with a given fingerprint
+// becomes the shared object all content-equal later ones resolve to, so
+// its memoized speculation plans are computed once. Pure optimization —
+// profiles are immutable in content and the memo is latency-free.
+func (en *Engine) internProfile(wkey string, p *netsim.Profile) *netsim.Profile {
+	if p == nil {
+		return nil
+	}
+	key := wkey + "|" + p.Fingerprint()
+	en.profMu.Lock()
+	defer en.profMu.Unlock()
+	if c, ok := en.profiles[key]; ok {
+		return c
+	}
+	if len(en.profiles) >= maxInternedProfiles {
+		en.profiles = make(map[string]*netsim.Profile)
+	}
+	en.profiles[key] = p
+	return p
+}
+
+func (en *Engine) lookupSeed(wkey string) *netsim.Profile {
+	en.profMu.Lock()
+	defer en.profMu.Unlock()
+	return en.seeds[wkey]
+}
+
+func (en *Engine) storeSeed(wkey string, p *netsim.Profile) {
+	en.profMu.Lock()
+	defer en.profMu.Unlock()
+	if len(en.seeds) >= maxInternedProfiles {
+		en.seeds = make(map[string]*netsim.Profile)
+	}
+	en.seeds[wkey] = p
 }
 
 // provisionedStable is provisionedStableCtx without cancellation.
@@ -126,8 +330,67 @@ func (en *Engine) provisionedStable(w Workload, latencyMS float64) (*Result, err
 // run that the window analysis consumes. Traced results carry the full
 // per-op trace, so they weigh costTraced units in a bounded cache.
 func (en *Engine) simulateTracedCtx(ctx context.Context, w Workload) (*netsim.Result, error) {
-	return exp.CachedCostCtx(ctx, en.pool, exp.Key("simulate-traced", w), costTraced, func(context.Context) (*netsim.Result, error) {
-		_, inner, err := simulate(w, Fabric{Kind: ElectricalRail}, true)
+	return exp.CachedCostCtx(ctx, en.pool, "time:"+exp.Key("simulate-traced", w), costTraced, func(cctx context.Context) (*netsim.Result, error) {
+		prog, err := en.programCtx(cctx, w, topo.FabricElectricalRail)
+		if err != nil {
+			return nil, err
+		}
+		_, inner, err := runProgram(prog, netsim.Electrical, Fabric{Kind: ElectricalRail}, true)
 		return inner, err
 	})
+}
+
+// CompiledWorkload is a workload captured together with its Build-stage
+// output: one immutable compiled Program on a fixed topology kind,
+// reusable across every fabric variant that realizes on that kind.
+type CompiledWorkload struct {
+	w    Workload
+	kind topo.FabricKind
+	prog *workload.Program
+}
+
+// Workload returns the workload this compilation came from.
+func (cw *CompiledWorkload) Workload() Workload { return cw.w }
+
+// Compile runs only the Build stage for the workload on the fabric's
+// topology kind. See CompileCtx.
+func (en *Engine) Compile(w Workload, f Fabric) (*CompiledWorkload, error) {
+	return en.CompileCtx(context.Background(), w, f)
+}
+
+// CompileCtx runs only the pipeline's Build stage: it compiles (or
+// fetches from the build memo) the workload's Program on the topology
+// kind the fabric realizes on. The result can be passed to
+// SimulateCompiledCtx with any fabric sharing that kind — e.g. compile
+// once, then sweep reconfiguration latencies.
+func (en *Engine) CompileCtx(ctx context.Context, w Workload, f Fabric) (*CompiledWorkload, error) {
+	kind, _, err := fabricRealization(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := en.programCtx(ctx, w, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledWorkload{w: w, kind: kind, prog: prog}, nil
+}
+
+// SimulateCompiled is SimulateCompiledCtx without cancellation.
+func (en *Engine) SimulateCompiled(cw *CompiledWorkload, f Fabric) (*Result, error) {
+	return en.SimulateCompiledCtx(context.Background(), cw, f)
+}
+
+// SimulateCompiledCtx runs the Time stage for a pre-compiled workload.
+// The fabric must realize on the same topology kind the workload was
+// compiled for. Results are identical to SimulateCtx(cw.Workload(), f)
+// and share its memo entries.
+func (en *Engine) SimulateCompiledCtx(ctx context.Context, cw *CompiledWorkload, f Fabric) (*Result, error) {
+	kind, _, err := fabricRealization(f)
+	if err != nil {
+		return nil, err
+	}
+	if kind != cw.kind {
+		return nil, fmt.Errorf("photonrail: workload compiled for topology kind %d, fabric realizes on %d", cw.kind, kind)
+	}
+	return en.SimulateCtx(ctx, cw.w, f)
 }

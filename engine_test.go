@@ -43,11 +43,24 @@ func TestSweepParallelDeterminism(t *testing.T) {
 		if st.Hits < 1 {
 			t.Errorf("%s engine: %d cache hits, want ≥ 1 (shared baseline)", name, st.Hits)
 		}
-		// The electrical baseline is fetched by all len(lats) points but
-		// simulated once: exactly len(lats)-1 of those fetches hit.
-		if want := uint64(len(lats) - 1); st.Hits != want {
-			t.Errorf("%s engine: %d hits, want %d (baseline shared across %d points)",
+		// Staged-pipeline accounting over L latency points:
+		//   Time hits:  L-1 baseline refetches + L reactive fetches by
+		//               the Provision stage (shared with the sweep's
+		//               reactive column)
+		//   Build hits: L-1 photonic-program fetches by reactive runs
+		//               + L by Provision-stage passes
+		// for 4L-2 hits total; anything else means a shared sub-result
+		// was re-simulated or re-compiled.
+		if want := uint64(4*len(lats) - 2); st.Hits != want {
+			t.Errorf("%s engine: %d hits, want %d (staged sharing across %d points)",
 				name, st.Hits, want, len(lats))
+		}
+		if want := uint64(2*len(lats) - 1); st.Time.Hits != want {
+			t.Errorf("%s engine: %d time-stage hits, want %d", name, st.Time.Hits, want)
+		}
+		if st.Build.Misses != 2 {
+			t.Errorf("%s engine: %d programs compiled, want 2 (electrical + photonic)",
+				name, st.Build.Misses)
 		}
 	}
 }

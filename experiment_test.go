@@ -162,12 +162,14 @@ func TestFig8CancelledCtxReturnsPromptly(t *testing.T) {
 		t.Fatalf("rows = %#v", out.res.Rows)
 	}
 	// 3 latency points × (baseline + reactive + provisioned), deduped:
-	// baseline once, reactive@0/5/10, provisioned@0/5/10 = 7 distinct
-	// simulations. The cancelled joiner must not have duplicated any —
-	// but if it raced the shared run's completion it may legitimately
-	// have re-simulated nothing at most. Allow the exact count only.
-	if st := en.CacheStats(); st.Misses != 7 {
-		t.Fatalf("misses = %d, want 7 (no duplicated simulations)", st.Misses)
+	// baseline once, reactive@0/5/10, provisioned@0/5/10 = 7 runs, plus
+	// the Build stage's two compiled programs (electrical + photonic)
+	// = 9 distinct misses. The cancelled joiner must not have
+	// duplicated any — but if it raced the shared run's completion it
+	// may legitimately have re-simulated nothing at most. Allow the
+	// exact count only.
+	if st := en.CacheStats(); st.Misses != 9 {
+		t.Fatalf("misses = %d, want 9 (no duplicated simulations)", st.Misses)
 	}
 }
 

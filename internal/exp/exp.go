@@ -45,6 +45,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -63,7 +64,13 @@ type Engine struct {
 
 	hits, misses, evictions atomic.Uint64
 	inflight                atomic.Int64
+
+	stageMu sync.Mutex
+	stages  map[string]*stageCounter
 }
+
+// stageCounter accumulates one stage's hit/miss telemetry.
+type stageCounter struct{ hits, misses atomic.Uint64 }
 
 // entry is one cache slot. done is closed when val/err are final, so
 // concurrent requests for an in-flight key block instead of recomputing.
@@ -151,6 +158,57 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// StageStats is one stage's slice of the cache telemetry; see
+// Engine.StageStats.
+type StageStats struct {
+	Hits, Misses uint64
+}
+
+// StageStats reports per-stage hit/miss telemetry. Keys of the form
+// "stage:rest" attribute their hits and misses to "stage", so a caller
+// layering a staged pipeline over one cache (build → provision → time)
+// can observe each stage's effectiveness separately; keys without a
+// stage prefix are not attributed. Counters accumulate since
+// construction and survive ResetCache, like Stats.
+func (e *Engine) StageStats() map[string]StageStats {
+	e.stageMu.Lock()
+	defer e.stageMu.Unlock()
+	out := make(map[string]StageStats, len(e.stages))
+	for name, c := range e.stages {
+		out[name] = StageStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	}
+	return out
+}
+
+// stageOf extracts the stage label from a hierarchical key, or "" when
+// the key carries none.
+func stageOf(key string) string {
+	if i := strings.IndexByte(key, ':'); i > 0 {
+		return key[:i]
+	}
+	return ""
+}
+
+// stage returns the counter for the key's stage, or nil for unstaged
+// keys.
+func (e *Engine) stage(key string) *stageCounter {
+	name := stageOf(key)
+	if name == "" {
+		return nil
+	}
+	e.stageMu.Lock()
+	defer e.stageMu.Unlock()
+	if e.stages == nil {
+		e.stages = make(map[string]*stageCounter)
+	}
+	c, ok := e.stages[name]
+	if !ok {
+		c = &stageCounter{}
+		e.stages[name] = c
+	}
+	return c
+}
+
 // CachedCost reports the completed-entry cost sum currently held.
 func (e *Engine) CachedCost() int64 {
 	e.mu.Lock()
@@ -234,6 +292,9 @@ func (e *Engine) DoCostCtx(ctx context.Context, key string, cost int64, fn func(
 			}
 			e.mu.Unlock()
 			e.hits.Add(1)
+			if sc := e.stage(key); sc != nil {
+				sc.hits.Add(1)
+			}
 			v, err, retry := e.wait(ctx, ent, false)
 			if retry {
 				continue // joined a computation abandoned by cancellation
@@ -246,6 +307,9 @@ func (e *Engine) DoCostCtx(ctx context.Context, key string, cost int64, fn func(
 		e.cache[key] = ent
 		e.mu.Unlock()
 		e.misses.Add(1)
+		if sc := e.stage(key); sc != nil {
+			sc.misses.Add(1)
+		}
 		e.inflight.Add(1)
 		go e.compute(ent, fn) //lint:allow goroutinejoin waiters join per-key via ent.done in wait; abandoned computations self-terminate via ent.cancel
 		v, err, retry := e.wait(ctx, ent, true)

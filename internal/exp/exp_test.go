@@ -265,3 +265,43 @@ func TestMapProgressHookRunsOnFailure(t *testing.T) {
 		t.Errorf("progress calls = %d, want 1 (only the job that ran completes)", calls)
 	}
 }
+
+func TestStageStatsAttributesHierarchicalKeys(t *testing.T) {
+	e := NewBounded(1, 100)
+	if e.MaxCost() != 100 {
+		t.Fatalf("MaxCost() = %d, want 100", e.MaxCost())
+	}
+	compute := func() (any, error) { return 1, nil }
+	// Two stages plus an unstaged key; second Do of each key is a hit.
+	for i := 0; i < 2; i++ {
+		if _, err := e.Do("build:w1", compute); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.DoCost("time:w1|f1", 2, compute); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Do("unstaged", compute); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Do(":leading-colon", compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.StageStats()
+	want := map[string]StageStats{
+		"build": {Hits: 1, Misses: 1},
+		"time":  {Hits: 1, Misses: 1},
+	}
+	if len(st) != len(want) {
+		t.Fatalf("StageStats() = %v, want %v (unstaged keys must not be attributed)", st, want)
+	}
+	for name, w := range want {
+		if st[name] != w {
+			t.Errorf("stage %q = %+v, want %+v", name, st[name], w)
+		}
+	}
+	// Whole-cache totals still count every key.
+	if s := e.Stats(); s.Hits != 4 || s.Misses != 4 {
+		t.Errorf("Stats() = %+v, want 4 hits / 4 misses", s)
+	}
+}

@@ -11,8 +11,12 @@
 package netsim
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 
 	"photonrail/internal/collective"
 	"photonrail/internal/opus"
@@ -111,11 +115,31 @@ func (r *Result) MeanIterationTime() units.Duration {
 // Profile records, per rail, the order in which scale-out collectives
 // completed — the shim's "profiled traffic pattern" from iteration 1
 // (§4.1). The provisioned run uses it to issue speculative requests.
+//
+// A Profile is immutable once built and safe to share across concurrent
+// runs: the staged pipeline feeds one reactive run's Profile to the
+// provisioned passes of several latency points at once. The speculation
+// decisions it implies (upcomingGroups) are pure functions of the
+// profile, the program, and the port plan — latency never enters — so
+// they are memoized on the Profile itself and shared by every pass at
+// every latency.
 type Profile struct {
 	// order[rail] lists task IDs in completion order.
 	order map[topo.RailID][]workload.TaskID
-	// pos[taskID] is the task's index within its rail's order.
-	pos map[workload.TaskID]int
+	// pos[taskID] is the task's index within its rail's order; -1 for
+	// tasks outside every rail order (compute, scale-up collectives).
+	pos []int
+
+	// spec memoizes upcomingGroups per task ID for one port plan (in
+	// practice the only plan a profile is ever consulted with — only
+	// single-plan Photonic runs provision); guarded by mu. Task-indexed
+	// slices cost two allocations per profile where a map would churn
+	// buckets for every task in the program. A consultation under a
+	// different plan (specPlan mismatch) bypasses the memo.
+	mu       sync.Mutex
+	specPlan opus.PortPlan
+	spec     [][]*collective.Group
+	specDone []bool
 }
 
 // Equal reports whether two profiles record the same per-rail op order.
@@ -143,6 +167,35 @@ func (p *Profile) Equal(q *Profile) bool {
 	return true
 }
 
+// Fingerprint returns a deterministic digest of the profile's content:
+// two profiles have the same fingerprint exactly when Equal reports
+// them equal. The staged pipeline interns profiles by fingerprint so
+// content-equal profiles from different runs (e.g. the reactive order
+// at neighboring latencies) share one object — and therefore one
+// memoized speculation plan.
+func (p *Profile) Fingerprint() string {
+	rails := make([]int, 0, len(p.order))
+	for r := range p.order {
+		rails = append(rails, int(r))
+	}
+	sort.Ints(rails)
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, r := range rails {
+		put(r)
+		ids := p.order[topo.RailID(r)]
+		put(len(ids))
+		for _, id := range ids {
+			put(int(id))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // provisionLookahead bounds how many distinct upcoming groups the shim
 // manager coalesces into one speculative request batch — the groups of
 // the next parallelism phase (one per data shard, typically).
@@ -154,9 +207,35 @@ const provisionLookahead = 8
 // stopping at the first group that conflicts with one already collected
 // (that group belongs to the phase after next) or at a return to t's
 // group.
-func (p *Profile) upcomingGroups(tasks []*workload.Task, t *workload.Task, plan opus.PortPlan) []*collective.Group {
-	idx, ok := p.pos[t.ID]
-	if !ok {
+func (p *Profile) upcomingGroups(tasks []*workload.Task, t *workload.Task, table *opus.CircuitTable) []*collective.Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.specDone == nil {
+		p.specPlan = table.Plan()
+		p.spec = make([][]*collective.Group, len(tasks))
+		p.specDone = make([]bool, len(tasks))
+	}
+	id := int(t.ID)
+	memo := p.specPlan == table.Plan() && id < len(p.specDone)
+	if memo && p.specDone[id] {
+		return p.spec[id]
+	}
+	gs := p.upcomingGroupsUncached(tasks, t, table)
+	if memo {
+		p.spec[id] = gs
+		p.specDone[id] = true
+	}
+	return gs
+}
+
+// upcomingGroupsUncached computes one speculation decision; see
+// upcomingGroups for the memoized entry point.
+func (p *Profile) upcomingGroupsUncached(tasks []*workload.Task, t *workload.Task, table *opus.CircuitTable) []*collective.Group {
+	if int(t.ID) >= len(p.pos) {
+		return nil // profile from a smaller program (foreign-profile runs)
+	}
+	idx := p.pos[t.ID]
+	if idx < 0 {
 		return nil
 	}
 	order := p.order[t.Rail]
@@ -190,7 +269,7 @@ func (p *Profile) upcomingGroups(tasks []*workload.Task, t *workload.Task, plan 
 		}
 		conflict := false
 		for _, seen := range out {
-			c, err := plan.GroupsConflict(seen, g)
+			c, err := table.GroupsConflict(seen, g)
 			if err != nil {
 				return out
 			}
@@ -231,48 +310,138 @@ func Run(p *workload.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ex.run()
+	res, err := ex.run()
+	// Pooled resources go back only on the non-panic paths: a panicking
+	// run leaves its engine and scratch to the collector rather than
+	// recycling state of unknown consistency.
+	ex.release()
+	return res, err
+}
+
+// scratch is the per-run mutable state of an executor, pooled across
+// runs so the timed stage's hot allocations are bounded by the largest
+// program seen, not the run count.
+type scratch struct {
+	remaining []int // unmet dependency count per task
+	done      []bool
+	iterEnd   []units.Duration
+	// completed[rail] lists scale-out collectives in completion order.
+	completed [][]workload.TaskID
+	// freeXfer recycles transfer carriers; live carriers are bounded by
+	// in-flight transfers, so the freelist stays peak-sized.
+	freeXfer *xfer
+}
+
+// xfer carries one in-flight transfer's completion state through the
+// event queue, so finishing a transfer needs no per-event closure.
+type xfer struct {
+	t       *workload.Task
+	start   units.Duration
+	release bool // release circuits (and provision ahead) on completion
+	next    *xfer
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// reset sizes the scratch for a program and clears it.
+func (sc *scratch) reset(tasks, iterations, rails int) {
+	sc.remaining = resized(sc.remaining, tasks)
+	sc.done = resized(sc.done, tasks)
+	for i := range sc.done {
+		sc.done[i] = false
+	}
+	sc.iterEnd = resized(sc.iterEnd, iterations)
+	for i := range sc.iterEnd {
+		sc.iterEnd[i] = 0
+	}
+	if cap(sc.completed) < rails {
+		sc.completed = make([][]workload.TaskID, rails)
+	}
+	sc.completed = sc.completed[:rails]
+	for i := range sc.completed {
+		sc.completed[i] = sc.completed[i][:0]
+	}
+}
+
+// resized returns s with length n, reusing its backing array when it
+// fits. Contents are unspecified; callers overwrite.
+func resized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 type executor struct {
 	p      *workload.Program
+	ix     *workload.Index
 	opts   Options
 	engine *sim.Engine
 	ctrl   *opus.Controller
 	// plans maps a parallelism-axis index to its static port plan
 	// (PhotonicStatic); Photonic uses plans[0] for everything.
-	planFor func(t *workload.Task) opus.PortPlan
-	ctrlFor func(t *workload.Task) *opus.Controller
+	planFor  func(t *workload.Task) opus.PortPlan
+	ctrlFor  func(t *workload.Task) *opus.Controller
+	tableFor func(t *workload.Task) *opus.CircuitTable
 
-	remaining []int // unmet dependency count per task
-	succ      [][]workload.TaskID
-	done      []bool
+	sc        *scratch
 	doneCount int
 
-	tr        *trace.Trace
-	iterEnd   []units.Duration
-	completed map[topo.RailID][]workload.TaskID
+	// Long-lived event callbacks: the engine's PostArg* path pairs one
+	// of these with a per-event argument, so steady-state scheduling
+	// allocates neither closures nor events.
+	startFn           func(any)
+	completeComputeFn func(any)
+	grantFn           func(any)
+	xferFn            func(any)
+
+	tr *trace.Trace
+}
+
+// newXfer pops a recycled transfer carrier or allocates one.
+func (ex *executor) newXfer() *xfer {
+	x := ex.sc.freeXfer
+	if x == nil {
+		return new(xfer)
+	}
+	ex.sc.freeXfer = x.next
+	x.next = nil
+	return x
+}
+
+func (ex *executor) putXfer(x *xfer) {
+	x.t = nil
+	x.next = ex.sc.freeXfer
+	ex.sc.freeXfer = x
+}
+
+// tableOf returns the program-wide circuit table for plan, so every run
+// of the program — any latency, any provisioning pass — shares one set
+// of derived ring matchings and conflict verdicts.
+func tableOf(ix *workload.Index, plan opus.PortPlan) *opus.CircuitTable {
+	return ix.Aux(plan, func() any { return opus.NewCircuitTable(plan) }).(*opus.CircuitTable)
 }
 
 func newExecutor(p *workload.Program, opts Options) (*executor, error) {
+	ix := p.Index()
 	ex := &executor{
-		p:         p,
-		opts:      opts,
-		engine:    sim.NewEngine(),
-		remaining: make([]int, len(p.Tasks)),
-		succ:      make([][]workload.TaskID, len(p.Tasks)),
-		done:      make([]bool, len(p.Tasks)),
-		iterEnd:   make([]units.Duration, p.Iterations),
-		completed: make(map[topo.RailID][]workload.TaskID),
+		p:      p,
+		ix:     ix,
+		opts:   opts,
+		engine: sim.AcquireEngine(),
+		sc:     scratchPool.Get().(*scratch),
 	}
+	ex.sc.reset(len(p.Tasks), p.Iterations, p.Cluster.NumRails())
+	copy(ex.sc.remaining, ix.Indeg)
+	ex.startFn = func(a any) { ex.start(a.(*workload.Task)) }
+	ex.completeComputeFn = func(a any) {
+		t := a.(*workload.Task)
+		ex.complete(t, ex.engine.Now()-t.Duration)
+	}
+	ex.grantFn = func(a any) { ex.granted(a.(*workload.Task)) }
+	ex.xferFn = func(a any) { ex.finishTransfer(a.(*xfer)) }
 	if opts.RecordTrace {
 		ex.tr = &trace.Trace{}
-	}
-	for _, t := range p.Tasks {
-		ex.remaining[t.ID] = len(t.Deps)
-		for _, d := range t.Deps {
-			ex.succ[d] = append(ex.succ[d], t.ID)
-		}
 	}
 	switch opts.Mode {
 	case Electrical:
@@ -285,21 +454,39 @@ func newExecutor(p *workload.Program, opts Options) (*executor, error) {
 			PortsPerGPU: p.Cluster.NIC.Ports,
 			RingPairs:   p.Cluster.NIC.Ports / 2,
 		}
-		ctrl, err := opus.NewController(opus.SimClock(ex.engine), plan, opts.ReconfigLatency)
+		table := tableOf(ix, plan)
+		ctrl, err := opus.NewControllerWithTable(opus.SimClock(ex.engine), table, opts.ReconfigLatency)
 		if err != nil {
+			ex.release()
 			return nil, err
 		}
 		ex.ctrl = ctrl
 		ex.planFor = func(*workload.Task) opus.PortPlan { return plan }
 		ex.ctrlFor = func(*workload.Task) *opus.Controller { return ctrl }
+		ex.tableFor = func(*workload.Task) *opus.CircuitTable { return table }
 	case PhotonicStatic:
 		if err := ex.setupStatic(); err != nil {
+			ex.release()
 			return nil, err
 		}
 	default:
+		ex.release()
 		return nil, fmt.Errorf("netsim: unknown mode %d", opts.Mode)
 	}
 	return ex, nil
+}
+
+// release returns the executor's pooled engine and scratch. Idempotent;
+// the executor is unusable afterwards.
+func (ex *executor) release() {
+	if ex.engine != nil {
+		ex.engine.Release()
+		ex.engine = nil
+	}
+	if ex.sc != nil {
+		scratchPool.Put(ex.sc)
+		ex.sc = nil
+	}
 }
 
 // setupStatic assigns each scale-out parallelism axis a disjoint pair of
@@ -314,17 +501,21 @@ func (ex *executor) setupStatic() error {
 	}
 	plans := make(map[int]opus.PortPlan, len(axes))
 	ctrls := make(map[int]*opus.Controller, len(axes))
+	tables := make(map[int]*opus.CircuitTable, len(axes))
 	for i, a := range axes {
 		plan := opus.PortPlan{Cluster: ex.p.Cluster, PortsPerGPU: ports, PortBase: 2 * i, RingPairs: 1}
-		ctrl, err := opus.NewController(opus.SimClock(ex.engine), plan, 0)
+		table := tableOf(ex.ix, plan)
+		ctrl, err := opus.NewControllerWithTable(opus.SimClock(ex.engine), table, 0)
 		if err != nil {
 			return err
 		}
 		plans[int(a)] = plan
 		ctrls[int(a)] = ctrl
+		tables[int(a)] = table
 	}
 	ex.planFor = func(t *workload.Task) opus.PortPlan { return plans[int(t.Axis)] }
 	ex.ctrlFor = func(t *workload.Task) *opus.Controller { return ctrls[int(t.Axis)] }
+	ex.tableFor = func(t *workload.Task) *opus.CircuitTable { return tables[int(t.Axis)] }
 	return nil
 }
 
@@ -344,9 +535,8 @@ func scaleOutAxes(p *workload.Program) []parallelism.Axis {
 func (ex *executor) run() (*Result, error) {
 	// Seed: all tasks with no dependencies.
 	for _, t := range ex.p.Tasks {
-		if ex.remaining[t.ID] == 0 {
-			t := t
-			ex.engine.Immediately(func() { ex.start(t) })
+		if ex.sc.remaining[t.ID] == 0 {
+			ex.engine.PostArgNow(ex.startFn, t)
 		}
 	}
 	total := ex.engine.Run()
@@ -356,7 +546,7 @@ func (ex *executor) run() (*Result, error) {
 	}
 	res := &Result{Total: total, Trace: ex.tr, Profile: ex.buildProfile()}
 	prev := units.Duration(0)
-	for _, end := range ex.iterEnd {
+	for _, end := range ex.sc.iterEnd {
 		res.IterationTimes = append(res.IterationTimes, end-prev)
 		prev = end
 	}
@@ -372,29 +562,27 @@ func (ex *executor) run() (*Result, error) {
 
 func (ex *executor) start(t *workload.Task) {
 	if t.Kind == workload.Compute {
-		ex.engine.After(t.Duration, func() { ex.complete(t, ex.engine.Now()-t.Duration) })
+		ex.engine.PostArgAfter(t.Duration, ex.completeComputeFn, t)
 		return
 	}
 	arrival := ex.engine.Now()
 	switch {
 	case t.ScaleUp:
-		ex.transfer(t, arrival, ex.p.Cluster.ScaleUpBandwidth, ex.p.Cluster.ScaleUpLatency, nil)
+		ex.transfer(t, arrival, ex.p.Cluster.ScaleUpBandwidth, ex.p.Cluster.ScaleUpLatency, false)
 	case ex.opts.Mode == Electrical:
-		ex.transfer(t, arrival, ex.p.Cluster.NIC.Total(), ex.p.Cluster.ScaleOutLatency, nil)
+		ex.transfer(t, arrival, ex.p.Cluster.NIC.Total(), ex.p.Cluster.ScaleOutLatency, false)
 	default:
-		ctrl := ex.ctrlFor(t)
-		if err := ctrl.Acquire(t.Rail, t.Group, func() {
-			bw := ex.circuitBandwidth(t)
-			ex.transfer(t, ex.engine.Now(), bw, ex.p.Cluster.ScaleOutLatency, func() {
-				if err := ctrl.Release(t.Rail, t.Group); err != nil {
-					panic(err)
-				}
-				ex.provisionNext(t)
-			})
-		}); err != nil {
+		if err := ex.ctrlFor(t).AcquireArg(t.Rail, t.Group, ex.grantFn, t); err != nil {
 			panic(err)
 		}
 	}
+}
+
+// granted runs when the controller installs a scale-out collective's
+// circuits: the transfer starts now and releases them on completion.
+func (ex *executor) granted(t *workload.Task) {
+	bw := ex.circuitBandwidth(t)
+	ex.transfer(t, ex.engine.Now(), bw, ex.p.Cluster.ScaleOutLatency, true)
 }
 
 // circuitBandwidth returns the bandwidth a collective sees on its
@@ -405,7 +593,7 @@ func (ex *executor) circuitBandwidth(t *workload.Task) units.Bandwidth {
 	perPort := ex.p.Cluster.NIC.PerPort
 	plan := ex.planFor(t)
 	if t.CollKind == collective.SendRecv && len(t.Ranks) == 2 {
-		m, err := plan.CircuitsFor(t.Group)
+		m, err := ex.tableFor(t).CircuitsFor(t.Group)
 		if err != nil {
 			panic(err)
 		}
@@ -422,8 +610,10 @@ func (ex *executor) circuitBandwidth(t *workload.Task) units.Bandwidth {
 	return units.Bandwidth(2 * int64(pairs) * int64(perPort))
 }
 
-// transfer runs the collective's α–β duration and completes the task.
-func (ex *executor) transfer(t *workload.Task, start units.Duration, bw units.Bandwidth, alpha units.Duration, release func()) {
+// transfer runs the collective's α–β duration and completes the task;
+// release additionally returns the circuits (and provisions ahead) on
+// completion.
+func (ex *executor) transfer(t *workload.Task, start units.Duration, bw units.Bandwidth, alpha units.Duration, release bool) {
 	onCircuits := ex.opts.Mode != Electrical && !t.ScaleUp
 	alg := collective.DefaultAlgorithm(t.CollKind, onCircuits)
 	k := len(t.Ranks)
@@ -434,26 +624,36 @@ func (ex *executor) transfer(t *workload.Task, start units.Duration, bw units.Ba
 	if err != nil {
 		panic(fmt.Sprintf("netsim: %s: %v", t.Label, err))
 	}
-	ex.engine.After(d, func() {
-		if release != nil {
-			release()
+	x := ex.newXfer()
+	x.t, x.start, x.release = t, start, release
+	ex.engine.PostArgAfter(d, ex.xferFn, x)
+}
+
+// finishTransfer fires when a transfer's α–β duration elapses.
+func (ex *executor) finishTransfer(x *xfer) {
+	t, start, release := x.t, x.start, x.release
+	ex.putXfer(x)
+	if release {
+		if err := ex.ctrlFor(t).Release(t.Rail, t.Group); err != nil {
+			panic(err)
 		}
-		ex.complete(t, start)
-	})
+		ex.provisionNext(t)
+	}
+	ex.complete(t, start)
 }
 
 func (ex *executor) complete(t *workload.Task, start units.Duration) {
-	if ex.done[t.ID] {
+	if ex.sc.done[t.ID] {
 		panic(fmt.Sprintf("netsim: task %s completed twice", t.Label))
 	}
-	ex.done[t.ID] = true
+	ex.sc.done[t.ID] = true
 	ex.doneCount++
 	now := ex.engine.Now()
-	if now > ex.iterEnd[t.Iteration] {
-		ex.iterEnd[t.Iteration] = now
+	if now > ex.sc.iterEnd[t.Iteration] {
+		ex.sc.iterEnd[t.Iteration] = now
 	}
 	if t.IsCollective() && !t.ScaleUp {
-		ex.completed[t.Rail] = append(ex.completed[t.Rail], t.ID)
+		ex.sc.completed[t.Rail] = append(ex.sc.completed[t.Rail], t.ID)
 	}
 	if ex.tr != nil && t.IsCollective() {
 		rail := t.Rail
@@ -475,11 +675,10 @@ func (ex *executor) complete(t *workload.Task, start units.Duration) {
 			Microbatch: t.Microbatch,
 		})
 	}
-	for _, s := range ex.succ[t.ID] {
-		ex.remaining[s]--
-		if ex.remaining[s] == 0 {
-			st := ex.p.Tasks[s]
-			ex.engine.Immediately(func() { ex.start(st) })
+	for _, s := range ex.ix.Succ[t.ID] {
+		ex.sc.remaining[s]--
+		if ex.sc.remaining[s] == 0 {
+			ex.engine.PostArgNow(ex.startFn, ex.p.Tasks[s])
 		}
 	}
 }
@@ -492,8 +691,8 @@ func (ex *executor) provisionNext(t *workload.Task) {
 	if !ex.opts.Provision || ex.opts.Profile == nil {
 		return
 	}
-	plan := ex.planFor(t)
-	for _, g := range ex.opts.Profile.upcomingGroups(ex.p.Tasks, t, plan) {
+	table := ex.tableFor(t)
+	for _, g := range ex.opts.Profile.upcomingGroups(ex.p.Tasks, t, table) {
 		if err := ex.ctrlFor(t).Provision(t.Rail, g); err != nil {
 			panic(err)
 		}
@@ -504,13 +703,19 @@ func (ex *executor) provisionNext(t *workload.Task) {
 // provisioning profile for a subsequent run.
 func (ex *executor) buildProfile() *Profile {
 	prof := &Profile{
-		order: make(map[topo.RailID][]workload.TaskID, len(ex.completed)),
-		pos:   make(map[workload.TaskID]int),
+		order: make(map[topo.RailID][]workload.TaskID),
+		pos:   make([]int, len(ex.p.Tasks)),
 	}
-	for rail, ids := range ex.completed {
+	for i := range prof.pos {
+		prof.pos[i] = -1
+	}
+	for rail, ids := range ex.sc.completed {
+		if len(ids) == 0 {
+			continue // rails with no scale-out traffic have no order entry
+		}
 		cp := make([]workload.TaskID, len(ids))
 		copy(cp, ids)
-		prof.order[rail] = cp
+		prof.order[topo.RailID(rail)] = cp
 		for i, id := range ids {
 			prof.pos[id] = i
 		}

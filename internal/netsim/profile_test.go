@@ -8,7 +8,18 @@ import (
 )
 
 func mkProfile(orders map[topo.RailID][]workload.TaskID) *Profile {
-	p := &Profile{order: make(map[topo.RailID][]workload.TaskID), pos: make(map[workload.TaskID]int)}
+	max := workload.TaskID(0)
+	for _, ids := range orders {
+		for _, id := range ids {
+			if id > max {
+				max = id
+			}
+		}
+	}
+	p := &Profile{order: make(map[topo.RailID][]workload.TaskID), pos: make([]int, max+1)}
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
 	for rail, ids := range orders {
 		cp := make([]workload.TaskID, len(ids))
 		copy(cp, ids)

@@ -20,13 +20,14 @@ type Clock interface {
 	Immediately(fn func())
 }
 
-// engineClock adapts *sim.Engine (whose After returns *sim.Event) to
-// Clock.
+// engineClock adapts *sim.Engine to Clock via the pooled fire-and-forget
+// scheduling calls: the controller never cancels a scheduled callback,
+// so it needs no event handles and its events recycle within the run.
 type engineClock struct{ e *sim.Engine }
 
 func (c engineClock) Now() units.Duration               { return c.e.Now() }
-func (c engineClock) After(d units.Duration, fn func()) { c.e.After(d, fn) }
-func (c engineClock) Immediately(fn func())             { c.e.Immediately(fn) }
+func (c engineClock) After(d units.Duration, fn func()) { c.e.PostAfter(d, fn) }
+func (c engineClock) Immediately(fn func())             { c.e.PostNow(fn) }
 
 // SimClock wraps a discrete-event engine as a controller Clock.
 func SimClock(e *sim.Engine) Clock { return engineClock{e} }
@@ -87,6 +88,7 @@ type railState struct {
 type Controller struct {
 	clock   Clock
 	plan    PortPlan
+	table   *CircuitTable
 	latency units.Duration
 	rails   map[topo.RailID]*railState
 	stats   Stats
@@ -97,6 +99,15 @@ type Controller struct {
 // sized to the plan (tech describes latency/radix bookkeeping only; the
 // latency argument wins so sweeps can explore Fig. 8's x-axis).
 func NewController(clock Clock, plan PortPlan, latency units.Duration) (*Controller, error) {
+	return NewControllerWithTable(clock, NewCircuitTable(plan), latency)
+}
+
+// NewControllerWithTable is NewController over a shared circuit table:
+// callers that run many simulations of one program (a latency sweep,
+// repeated provisioning passes) pass the same table to every controller
+// so ring matchings and conflict checks are derived once, not per run.
+func NewControllerWithTable(clock Clock, table *CircuitTable, latency units.Duration) (*Controller, error) {
+	plan := table.Plan()
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,6 +117,7 @@ func NewController(clock Clock, plan PortPlan, latency units.Duration) (*Control
 	c := &Controller{
 		clock:   clock,
 		plan:    plan,
+		table:   table,
 		latency: latency,
 		rails:   make(map[topo.RailID]*railState),
 	}
@@ -140,6 +152,18 @@ func (c *Controller) Installed(rail topo.RailID, group string) bool {
 // immediately) once the circuits are installed; the caller must pair it
 // with Release when the transfer completes.
 func (c *Controller) Acquire(rail topo.RailID, group *collective.Group, granted func()) error {
+	return c.AcquireArg(rail, group, ignoreArg, granted)
+}
+
+// ignoreArg adapts a no-argument grant callback to AcquireArg.
+func ignoreArg(arg any) { arg.(func())() }
+
+// AcquireArg is Acquire for a grant callback taking one argument. A hot
+// caller (the network executor grants one acquisition per scale-out
+// collective) passes one long-lived callback with a per-acquisition
+// argument, so the fast path — circuits already installed — allocates
+// nothing.
+func (c *Controller) AcquireArg(rail topo.RailID, group *collective.Group, granted func(any), arg any) error {
 	rs := c.rails[rail]
 	if rs == nil {
 		return fmt.Errorf("opus: unknown rail %d", rail)
@@ -155,7 +179,7 @@ func (c *Controller) Acquire(rail topo.RailID, group *collective.Group, granted 
 			// reconfiguration is about to tear them down ahead of us.
 			c.stats.FastGrants++
 			rs.active[group.Name]++
-			granted()
+			granted(arg)
 			return nil
 		}
 	}
@@ -164,13 +188,13 @@ func (c *Controller) Acquire(rail topo.RailID, group *collective.Group, granted 
 	wrapped := func() {
 		rs.active[group.Name]++
 		c.stats.BlockedTime += c.clock.Now() - arrival
-		granted()
+		granted(arg)
 	}
 	if req := c.findPending(rs, group.Name); req != nil {
 		req.waiters = append(req.waiters, wrapped)
 		req.arrivals = append(req.arrivals, arrival)
 	} else {
-		circuits, err := c.plan.CircuitsFor(group)
+		circuits, err := c.table.CircuitsFor(group)
 		if err != nil {
 			return err
 		}
@@ -200,7 +224,7 @@ func (c *Controller) Provision(rail topo.RailID, group *collective.Group) error 
 	if c.findPending(rs, group.Name) != nil {
 		return nil // already requested
 	}
-	circuits, err := c.plan.CircuitsFor(group)
+	circuits, err := c.table.CircuitsFor(group)
 	if err != nil {
 		return err
 	}
@@ -361,7 +385,7 @@ func (c *Controller) processNow(rs *railState) {
 		}
 		delete(rs.installed, name)
 	}
-	if err := rs.sw.Apply(next); err != nil {
+	if err := rs.sw.ApplyOwned(next); err != nil {
 		panic(fmt.Sprintf("opus: tear-down of idle circuits failed: %v", err))
 	}
 	c.clock.After(c.latency, func() {
@@ -375,7 +399,7 @@ func (c *Controller) processNow(rs *railState) {
 				}
 			}
 		}
-		if err := rs.sw.Apply(next); err != nil {
+		if err := rs.sw.ApplyOwned(next); err != nil {
 			panic(fmt.Sprintf("opus: set-up apply failed: %v", err))
 		}
 		for _, req := range batch {

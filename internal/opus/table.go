@@ -1,0 +1,103 @@
+package opus
+
+import (
+	"sync"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/ocs"
+)
+
+// CircuitTable memoizes a PortPlan's circuit derivations. The ring
+// matching of a group — and whether two groups' matchings collide — is
+// a pure function of the plan and the group membership, yet the
+// provisioning path recomputes both on every speculation decision
+// (thousands of times per run). The table computes each once.
+//
+// A table is safe for concurrent use and is shared across every
+// simulation run of one compiled program, so a latency sweep pays the
+// matching construction cost once, not once per (latency, pass).
+//
+// Matchings returned by CircuitsFor are shared: callers must treat them
+// as read-only (the controller installs and diffs them but only ever
+// mutates clones taken from the switch).
+type CircuitTable struct {
+	plan PortPlan
+
+	mu        sync.Mutex
+	circuits  map[string]ocs.Matching
+	errs      map[string]error
+	conflicts map[conflictKey]conflictResult
+}
+
+// conflictKey orders the two group names so GroupsConflict(a, b) and
+// GroupsConflict(b, a) share one slot (conflict is symmetric).
+type conflictKey struct{ a, b string }
+
+type conflictResult struct {
+	conflict bool
+	err      error
+}
+
+// NewCircuitTable builds an empty table over the plan.
+func NewCircuitTable(plan PortPlan) *CircuitTable {
+	return &CircuitTable{
+		plan:      plan,
+		circuits:  make(map[string]ocs.Matching),
+		errs:      make(map[string]error),
+		conflicts: make(map[conflictKey]conflictResult),
+	}
+}
+
+// Plan returns the port plan the table derives circuits from.
+func (t *CircuitTable) Plan() PortPlan { return t.plan }
+
+// CircuitsFor is PortPlan.CircuitsFor, memoized by group name (group
+// names are unique within a program). Errors are memoized too: the
+// derivation is deterministic, so retrying cannot succeed.
+func (t *CircuitTable) CircuitsFor(g *collective.Group) (ocs.Matching, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.circuitsForLocked(g)
+}
+
+func (t *CircuitTable) circuitsForLocked(g *collective.Group) (ocs.Matching, error) {
+	if m, ok := t.circuits[g.Name]; ok {
+		return m, nil
+	}
+	if err, ok := t.errs[g.Name]; ok {
+		return nil, err
+	}
+	m, err := t.plan.CircuitsFor(g)
+	if err != nil {
+		t.errs[g.Name] = err
+		return nil, err
+	}
+	t.circuits[g.Name] = m
+	return m, nil
+}
+
+// GroupsConflict is PortPlan.GroupsConflict, memoized by the unordered
+// group-name pair.
+func (t *CircuitTable) GroupsConflict(a, b *collective.Group) (bool, error) {
+	key := conflictKey{a.Name, b.Name}
+	if key.b < key.a {
+		key.a, key.b = key.b, key.a
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r, ok := t.conflicts[key]; ok {
+		return r.conflict, r.err
+	}
+	ma, err := t.circuitsForLocked(a)
+	if err == nil {
+		var mb ocs.Matching
+		mb, err = t.circuitsForLocked(b)
+		if err == nil {
+			r := conflictResult{conflict: conflicts(ma, mb)}
+			t.conflicts[key] = r
+			return r.conflict, nil
+		}
+	}
+	t.conflicts[key] = conflictResult{err: err}
+	return false, err
+}

@@ -1,0 +1,94 @@
+package opus
+
+import (
+	"reflect"
+	"testing"
+
+	"photonrail/internal/collective"
+	"photonrail/internal/parallelism"
+	"photonrail/internal/topo"
+)
+
+func TestGroupsConflict(t *testing.T) {
+	r := newRig(t, 0)
+	// fsdp0 and pp0 both use GPU 0's ports; fsdp0 and fsdp1 are disjoint.
+	if c, err := r.plan.GroupsConflict(r.fsdp0, r.pp0); err != nil || !c {
+		t.Errorf("GroupsConflict(fsdp0, pp0) = %v, %v; want true", c, err)
+	}
+	if c, err := r.plan.GroupsConflict(r.fsdp0, r.fsdp1); err != nil || c {
+		t.Errorf("GroupsConflict(fsdp0, fsdp1) = %v, %v; want false", c, err)
+	}
+	// A group spanning rails is underivable; the error propagates.
+	bad := &collective.Group{Name: "bad", Axis: parallelism.TP, Ranks: []topo.GPUID{0, 1}}
+	if _, err := r.plan.GroupsConflict(bad, r.fsdp0); err == nil {
+		t.Error("GroupsConflict with an underivable first group did not error")
+	}
+	if _, err := r.plan.GroupsConflict(r.fsdp0, bad); err == nil {
+		t.Error("GroupsConflict with an underivable second group did not error")
+	}
+}
+
+func TestCircuitTableMemoizes(t *testing.T) {
+	r := newRig(t, 0)
+	tab := NewCircuitTable(r.plan)
+	if tab.Plan().Cluster != r.plan.Cluster {
+		t.Error("Plan() does not return the constructed plan")
+	}
+	m1, err := tab.CircuitsFor(r.fsdp0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := tab.CircuitsFor(r.fsdp0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(m1).Pointer() != reflect.ValueOf(m2).Pointer() {
+		t.Error("CircuitsFor recomputed instead of returning the memoized matching")
+	}
+	// Conflict results are memoized under the unordered name pair.
+	c1, err := tab.GroupsConflict(r.fsdp0, r.pp0)
+	if err != nil || !c1 {
+		t.Fatalf("GroupsConflict = %v, %v; want true", c1, err)
+	}
+	c2, err := tab.GroupsConflict(r.pp0, r.fsdp0)
+	if err != nil || !c2 {
+		t.Fatalf("reversed GroupsConflict = %v, %v; want true", c2, err)
+	}
+	if len(tab.conflicts) != 1 {
+		t.Errorf("conflict cache has %d entries, want 1 (symmetric key)", len(tab.conflicts))
+	}
+	if c, err := tab.GroupsConflict(r.fsdp0, r.fsdp1); err != nil || c {
+		t.Errorf("GroupsConflict(fsdp0, fsdp1) = %v, %v; want false", c, err)
+	}
+}
+
+func TestCircuitTableMemoizesErrors(t *testing.T) {
+	r := newRig(t, 0)
+	tab := NewCircuitTable(r.plan)
+	bad := &collective.Group{Name: "bad", Axis: parallelism.TP, Ranks: []topo.GPUID{0, 1}}
+	_, err1 := tab.CircuitsFor(bad)
+	if err1 == nil {
+		t.Fatal("cross-rail group did not error")
+	}
+	_, err2 := tab.CircuitsFor(bad)
+	if err2 != err1 {
+		t.Error("error not memoized: second derivation returned a fresh error")
+	}
+	if _, err := tab.GroupsConflict(bad, r.fsdp0); err == nil {
+		t.Error("GroupsConflict with underivable group did not error")
+	}
+	if _, err := tab.GroupsConflict(r.fsdp0, bad); err == nil {
+		t.Error("GroupsConflict with underivable second group did not error")
+	}
+	// The memoized error is replayed for the pair, too.
+	if _, err := tab.GroupsConflict(bad, r.fsdp0); err == nil {
+		t.Error("memoized conflict error not replayed")
+	}
+}
+
+func TestControllerLatencyAccessor(t *testing.T) {
+	r := newRig(t, 3*ms)
+	if got := r.ctrl.Latency(); got != 3*ms {
+		t.Errorf("Latency() = %v, want %v", got, 3*ms)
+	}
+}

@@ -244,6 +244,21 @@ type CacheStatsPayload struct {
 	// identical in-flight one.
 	CellsExecuted uint64 `json:"cellsExecuted,omitempty"`
 	CellsDeduped  uint64 `json:"cellsDeduped,omitempty"`
+	// Per-stage counters of the staged simulation pipeline (Build →
+	// Provision → Time). They partition Hits/Misses by the pipeline
+	// stage the lookup belongs to; older daemons omit them.
+	BuildHits       uint64 `json:"buildHits,omitempty"`
+	BuildMisses     uint64 `json:"buildMisses,omitempty"`
+	ProvisionHits   uint64 `json:"provisionHits,omitempty"`
+	ProvisionMisses uint64 `json:"provisionMisses,omitempty"`
+	TimeHits        uint64 `json:"timeHits,omitempty"`
+	TimeMisses      uint64 `json:"timeMisses,omitempty"`
+	// SeedHits/SeedMisses count Provision-stage convergence seeding: a
+	// hit adopts a neighboring latency's converged per-rail profile
+	// (sharing its memoized speculation plans), a miss falls back to
+	// converging from the reactive profile alone.
+	SeedHits   uint64 `json:"seedHits,omitempty"`
+	SeedMisses uint64 `json:"seedMisses,omitempty"`
 	// Backends is the fleet coordinator's per-backend health view
 	// (absent on a single daemon's stats).
 	Backends []BackendStatsPayload `json:"backends,omitempty"`

@@ -241,6 +241,14 @@ func (f *Coordinator) Stats() opusnet.CacheStatsPayload {
 					out.InFlight += bst.InFlight
 					out.CellsExecuted += bst.CellsExecuted
 					out.CellsDeduped += bst.CellsDeduped
+					out.BuildHits += bst.BuildHits
+					out.BuildMisses += bst.BuildMisses
+					out.ProvisionHits += bst.ProvisionHits
+					out.ProvisionMisses += bst.ProvisionMisses
+					out.TimeHits += bst.TimeHits
+					out.TimeMisses += bst.TimeMisses
+					out.SeedHits += bst.SeedHits
+					out.SeedMisses += bst.SeedMisses
 					agg.Unlock()
 				} else {
 					snap.Healthy = false

@@ -222,6 +222,15 @@ func (s *Server) Stats() opusnet.CacheStatsPayload {
 		ExpsDeduped:   expsDeduped,
 		CellsExecuted: cellsExecuted,
 		CellsDeduped:  cellsDeduped,
+
+		BuildHits:       st.Build.Hits,
+		BuildMisses:     st.Build.Misses,
+		ProvisionHits:   st.Provision.Hits,
+		ProvisionMisses: st.Provision.Misses,
+		TimeHits:        st.Time.Hits,
+		TimeMisses:      st.Time.Misses,
+		SeedHits:        st.SeedHits,
+		SeedMisses:      st.SeedMisses,
 	}
 }
 

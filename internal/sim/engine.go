@@ -8,19 +8,22 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"photonrail/internal/units"
 )
 
 // Event is a callback scheduled at a virtual time.
 type Event struct {
-	at    units.Duration
-	seq   uint64
-	fn    func()
-	index int // heap bookkeeping
-	dead  bool
+	at     units.Duration
+	seq    uint64
+	fn     func()
+	afn    func(any) // arg-carrying callback (Post*Arg); fn is nil
+	arg    any
+	dead   bool
+	pooled bool   // fire-and-forget: recycled onto the freelist after firing
+	next   *Event // freelist link while recycled
 }
 
 // Time returns the virtual time the event fires at.
@@ -30,51 +33,130 @@ func (e *Event) Time() units.Duration { return e.at }
 // already fired is a no-op.
 func (e *Event) Cancel() { e.dead = true }
 
-// eventQueue is a min-heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
 // Engine runs a discrete-event simulation. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
 	now     units.Duration
 	seq     uint64
-	queue   eventQueue
+	queue   []*Event // binary min-heap ordered by (at, seq)
 	stopped bool
 	fired   uint64
+	free    *Event // freelist of recycled fire-and-forget events
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
+}
+
+// less orders the event heap by (time, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an event into the heap. The heap is hand-rolled rather
+// than container/heap because event scheduling is the simulator's
+// hottest path and the interface indirection (plus the any-boxing in
+// Push/Pop) is measurable there.
+func (e *Engine) push(ev *Event) {
+	e.queue = append(e.queue, ev)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	e.queue = q
+	// Sift the relocated root down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return ev
+}
+
+// enginePool recycles engines across simulation runs: a drained engine
+// keeps its event-queue capacity and event freelist, so a run on a
+// recycled engine allocates events only up to its peak queue depth.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// AcquireEngine returns a reset engine from the process-wide pool.
+// Release it with Engine.Release when the run is over; an engine that is
+// never released is simply collected.
+func AcquireEngine() *Engine {
+	return enginePool.Get().(*Engine)
+}
+
+// Release resets the engine — clock to zero, queue emptied, counters
+// cleared — and returns it to the pool backing AcquireEngine. The caller
+// must not use the engine (or any *Event it returned) afterwards.
+func (e *Engine) Release() {
+	for _, ev := range e.queue {
+		ev.fn = nil
+		ev.afn = nil
+		ev.arg = nil
+		if ev.pooled {
+			e.recycle(ev)
+		}
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.fired = 0
+	enginePool.Put(e)
+}
+
+// recycle clears a fired (or drained) pooled event and pushes it onto
+// the freelist. The callback reference is dropped so recycled events do
+// not pin their closures between runs.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.dead = false
+	ev.next = e.free
+	e.free = ev
+}
+
+// newPooledEvent pops a freelist event or allocates one.
+func (e *Engine) newPooledEvent() *Event {
+	ev := e.free
+	if ev == nil {
+		return &Event{pooled: true}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
 }
 
 // Now returns the current virtual time.
@@ -95,7 +177,7 @@ func (e *Engine) At(t units.Duration, fn func()) *Event {
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -111,21 +193,97 @@ func (e *Engine) After(d units.Duration, fn func()) *Event {
 // scheduled for this instant.
 func (e *Engine) Immediately(fn func()) *Event { return e.At(e.now, fn) }
 
+// PostAt schedules fn at absolute virtual time t as a fire-and-forget
+// event: no handle is returned, the event cannot be cancelled, and its
+// storage is recycled after it fires. Hot scheduling paths that never
+// cancel (the network executor fires hundreds of thousands of these per
+// run) use Post* to keep event allocation bounded by peak queue depth
+// instead of total event count.
+func (e *Engine) PostAt(t units.Duration, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.newPooledEvent()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	e.push(ev)
+}
+
+// PostAfter schedules fn to run d after the current virtual time; see
+// PostAt.
+func (e *Engine) PostAfter(d units.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.PostAt(e.now+d, fn)
+}
+
+// PostNow schedules fn at the current instant, after all events already
+// scheduled for this instant; see PostAt.
+func (e *Engine) PostNow(fn func()) { e.PostAt(e.now, fn) }
+
+// PostArgAt is PostAt for a callback taking one argument. Passing a
+// long-lived callback (e.g. one method-value closure per simulation)
+// with a per-event argument avoids allocating a fresh closure per event
+// — with pooled event storage, the steady-state scheduling path
+// allocates nothing.
+func (e *Engine) PostArgAt(t units.Duration, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.newPooledEvent()
+	ev.at = t
+	ev.seq = e.seq
+	ev.afn = fn
+	ev.arg = arg
+	e.seq++
+	e.push(ev)
+}
+
+// PostArgAfter schedules fn(arg) to run d after the current virtual
+// time; see PostArgAt.
+func (e *Engine) PostArgAfter(d units.Duration, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.PostArgAt(e.now+d, fn, arg)
+}
+
+// PostArgNow schedules fn(arg) at the current instant, after all events
+// already scheduled for this instant; see PostArgAt.
+func (e *Engine) PostArgNow(fn func(any), arg any) { e.PostArgAt(e.now, fn, arg) }
+
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire executes one dequeued event's callback after recycling its
+// storage (the callback may schedule further events, so recycle first).
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	e.fired++
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	if ev.pooled {
+		e.recycle(ev)
+	}
+	if afn != nil {
+		afn(arg)
+		return
+	}
+	fn()
+}
 
 // Run executes events until the queue drains or Stop is called. It returns
 // the final virtual time.
 func (e *Engine) Run() units.Duration {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.popMin()
 		if ev.dead {
 			continue
 		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
+		e.fire(ev)
 	}
 	return e.now
 }
@@ -135,17 +293,14 @@ func (e *Engine) Run() units.Duration {
 func (e *Engine) RunUntil(deadline units.Duration) units.Duration {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > deadline {
+		if e.queue[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
+		ev := e.popMin()
 		if ev.dead {
 			continue
 		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
+		e.fire(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -209,3 +209,126 @@ func TestBarrierZeroPanics(t *testing.T) {
 	}()
 	NewBarrier(NewEngine(), 0, func(units.Duration) {})
 }
+
+func TestPostFireAndForgetOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.PostAt(30, func() { order = append(order, 3) })
+	e.PostAt(10, func() { order = append(order, 1) })
+	e.At(10, func() {
+		order = append(order, 2) // FIFO after the PostAt(10) event
+		e.PostAfter(5, func() { order = append(order, 4) })
+		e.PostNow(func() { order = append(order, 5) })
+	})
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %v, want 30", end)
+	}
+	want := []int{1, 2, 5, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Fired() != 5 {
+		t.Errorf("Fired() = %d, want 5", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestPostArgReusesOneClosure(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	collect := func(v any) { got = append(got, v.(int)) }
+	e.PostArgAt(20, collect, 2)
+	e.PostArgAt(10, collect, 1)
+	e.At(10, func() {
+		e.PostArgAfter(5, collect, 15)
+		e.PostArgNow(collect, 10)
+	})
+	e.Run()
+	want := []int{1, 10, 15, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPostInPastPanics(t *testing.T) {
+	for name, post := range map[string]func(*Engine){
+		"PostAt":       func(e *Engine) { e.PostAt(5, func() {}) },
+		"PostAfter":    func(e *Engine) { e.PostAfter(-1, func() {}) },
+		"PostArgAt":    func(e *Engine) { e.PostArgAt(5, func(any) {}, nil) },
+		"PostArgAfter": func(e *Engine) { e.PostArgAfter(-1, func(any) {}, nil) },
+	} {
+		post := post
+		e := NewEngine()
+		e.At(10, func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s in the past did not panic", name)
+				}
+			}()
+			post(e)
+		})
+		e.Run()
+	}
+}
+
+// Pooled events must be recycled through the freelist: after a fired
+// event's storage returns, a subsequent Post reuses it instead of
+// allocating, and a drained engine released to the pool comes back with
+// clock and counters reset.
+func TestPooledEventRecyclingAndRelease(t *testing.T) {
+	e := AcquireEngine()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		e.PostAt(units.Duration(i), func() { fired++ })
+	}
+	e.Run()
+	if fired != 100 {
+		t.Fatalf("fired %d, want 100", fired)
+	}
+	// Everything fired sequentially, so at most one event was ever
+	// queued at a time — the freelist should satisfy later Posts.
+	if e.free == nil {
+		t.Fatal("no recycled events on the freelist after a pooled run")
+	}
+	ev := e.free
+	e.PostNow(func() {})
+	if got := e.queue[len(e.queue)-1]; got != ev {
+		t.Error("PostNow did not reuse the freelist head")
+	}
+	e.Release()
+	e2 := AcquireEngine()
+	defer e2.Release()
+	if e2.Now() != 0 || e2.Pending() != 0 || e2.Fired() != 0 {
+		t.Errorf("acquired engine not reset: now=%v pending=%d fired=%d",
+			e2.Now(), e2.Pending(), e2.Fired())
+	}
+}
+
+// Release with events still queued must not leak their callbacks: queued
+// pooled events are recycled, and cancellable events keep their handle
+// semantics (Time reports the scheduled instant).
+func TestReleaseDrainsQueuedEvents(t *testing.T) {
+	e := AcquireEngine()
+	e.PostAt(50, func() { t.Error("queued pooled event fired across Release") })
+	ev := e.At(70, func() {})
+	if ev.Time() != 70 {
+		t.Errorf("Time() = %v, want 70", ev.Time())
+	}
+	e.Release()
+	e2 := AcquireEngine()
+	defer e2.Release()
+	e2.Run()
+}

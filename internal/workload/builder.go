@@ -1,9 +1,9 @@
 package workload
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"photonrail/internal/collective"
 	"photonrail/internal/model"
@@ -133,6 +133,9 @@ type bt struct {
 	task *Task
 	deps []*bt
 	idx  int // creation index for deterministic ordering
+	// depsArr backs deps inline: nearly every task has a handful of
+	// dependencies, so the common case allocates nothing.
+	depsArr [4]*bt
 }
 
 // shard identifies one non-TP, non-PP coordinate: the data (d), context
@@ -160,6 +163,17 @@ type builder struct {
 	tasks   []*bt
 	groups  map[string]*collective.Group
 	cluster *topo.Cluster
+
+	// Arena blocks for bt/Task nodes and a scratch buffer for label
+	// formatting: program compilation is the pipeline's Build stage and
+	// its per-node allocations dominate a cold grid, so nodes come from
+	// chunked arenas instead of one heap object each.
+	btArena   []bt
+	taskArena []Task
+	lbuf      []byte
+	// sharedHint pre-sizes each iteration's shared-collective memo with
+	// the previous iteration's final count (iterations are isomorphic).
+	sharedHint int
 
 	// Per-layer durations (TP collectives folded in).
 	fwdLayer, bwdLayer units.Duration
@@ -357,23 +371,89 @@ func (b *builder) makeGroups() {
 }
 
 func (b *builder) ppGroupName(sh shard, t int) string {
-	return fmt.Sprintf("pp.d%d.c%d.e%d.r%d", sh.d, sh.c, sh.e, t)
+	return b.fmtd("pp.d%d.c%d.e%d.r%d", sh.d, sh.c, sh.e, t)
 }
 
 func (b *builder) fsdpGroupName(s, c, e, t int) string {
-	return fmt.Sprintf("fsdp.s%d.c%d.e%d.r%d", s, c, e, t)
+	return b.fmtd("fsdp.s%d.c%d.e%d.r%d", s, c, e, t)
 }
 
 func (b *builder) cpGroupName(s, d, e, t int) string {
-	return fmt.Sprintf("cp.s%d.d%d.e%d.r%d", s, d, e, t)
+	return b.fmtd("cp.s%d.d%d.e%d.r%d", s, d, e, t)
 }
 
 func (b *builder) epGroupName(s, d, c, t int) string {
-	return fmt.Sprintf("ep.s%d.d%d.c%d.r%d", s, d, c, t)
+	return b.fmtd("ep.s%d.d%d.c%d.r%d", s, d, c, t)
+}
+
+// arenaChunk sizes the bt/Task arena blocks.
+const arenaChunk = 512
+
+func (b *builder) newBT() *bt {
+	if len(b.btArena) == 0 {
+		b.btArena = make([]bt, arenaChunk)
+	}
+	n := &b.btArena[0]
+	b.btArena = b.btArena[1:]
+	return n
+}
+
+// newTask returns an arena-backed zero Task.
+func (b *builder) newTask() *Task {
+	if len(b.taskArena) == 0 {
+		b.taskArena = make([]Task, arenaChunk)
+	}
+	t := &b.taskArena[0]
+	b.taskArena = b.taskArena[1:]
+	return t
+}
+
+// fmtd is the builder's label formatter: fmt.Sprintf restricted to %d
+// verbs over the builder's scratch buffer. Labels are the single
+// biggest formatting cost of compilation, and every one of them is
+// integers spliced into a literal.
+func (b *builder) fmtd(format string, args ...int) string {
+	buf := b.lbuf[:0]
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c == '%' && i+1 < len(format) && format[i+1] == 'd' {
+			buf = strconv.AppendInt(buf, int64(args[ai]), 10)
+			ai++
+			i++
+			continue
+		}
+		buf = append(buf, c)
+	}
+	b.lbuf = buf
+	return string(buf)
+}
+
+// fsdpLabel formats the per-blob FSDP collective labels
+// ("AG <blob> s# c# e# r#"), the only hot label shape with a string
+// argument, which fmtd cannot splice.
+func (b *builder) fsdpLabel(op, blob string, s, c, e, r int) string {
+	buf := b.lbuf[:0]
+	buf = append(buf, op...)
+	buf = append(buf, ' ')
+	buf = append(buf, blob...)
+	buf = append(buf, " s"...)
+	buf = strconv.AppendInt(buf, int64(s), 10)
+	buf = append(buf, " c"...)
+	buf = strconv.AppendInt(buf, int64(c), 10)
+	buf = append(buf, " e"...)
+	buf = strconv.AppendInt(buf, int64(e), 10)
+	buf = append(buf, " r"...)
+	buf = strconv.AppendInt(buf, int64(r), 10)
+	b.lbuf = buf
+	return string(buf)
 }
 
 func (b *builder) add(t *Task, deps ...*bt) *bt {
-	n := &bt{task: t, idx: len(b.tasks)}
+	n := b.newBT()
+	n.task = t
+	n.idx = len(b.tasks)
+	n.deps = n.depsArr[:0]
 	for _, d := range deps {
 		if d != nil {
 			n.deps = append(n.deps, d)
@@ -499,7 +579,7 @@ func (b *builder) stageBlobs(s int) []blob {
 		blobs = append(blobs, blob{label: "embed", agBytes: b.embedAGBytes, rsBytes: b.embedRSBytes, layer: -1})
 	}
 	for l := 0; l < layers; l++ {
-		blobs = append(blobs, blob{label: fmt.Sprintf("L%d", l), agBytes: b.agBytes, rsBytes: b.rsBytes, layer: l})
+		blobs = append(blobs, blob{label: b.fmtd("L%d", l), agBytes: b.agBytes, rsBytes: b.rsBytes, layer: l})
 	}
 	if s == b.cfg.PP-1 {
 		blobs = append(blobs, blob{label: "head", agBytes: b.embedAGBytes, rsBytes: b.embedRSBytes, layer: -1})
@@ -509,13 +589,14 @@ func (b *builder) stageBlobs(s int) []blob {
 
 // collTask is a helper filling the common collective-task fields.
 func (b *builder) collTask(label string, kind parallelism.CollectiveKind, axis parallelism.Axis,
-	group string, ranks []topo.GPUID, bytes units.ByteSize, rail int, it, mb int, phase trace.PipePhase) *Task {
-	return &Task{
+	g *collective.Group, ranks []topo.GPUID, bytes units.ByteSize, rail int, it, mb int, phase trace.PipePhase) *Task {
+	t := b.newTask()
+	*t = Task{
 		Kind:       Collective,
 		Label:      label,
 		CollKind:   kind,
 		Axis:       axis,
-		Group:      b.groups[group],
+		Group:      g,
 		Ranks:      ranks,
 		Bytes:      bytes,
 		Rail:       topo.RailID(rail),
@@ -523,6 +604,7 @@ func (b *builder) collTask(label string, kind parallelism.CollectiveKind, axis p
 		Microbatch: mb,
 		Phase:      phase,
 	}
+	return t
 }
 
 // buildIteration emits one training iteration. prevEnd carries each
@@ -545,15 +627,15 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 						key := mkey{s, sh, t, m}
 						if s < cfg.PP-1 {
 							srF[key] = b.add(b.collTask(
-								fmt.Sprintf("SRf s%d>s%d d%d c%d e%d r%d mb%d", s, s+1, sh.d, sh.c, sh.e, t, m),
-								parallelism.SendRecv, parallelism.PP, b.ppGroupName(sh, t),
+								b.fmtd("SRf s%d>s%d d%d c%d e%d r%d mb%d", s, s+1, sh.d, sh.c, sh.e, t, m),
+								parallelism.SendRecv, parallelism.PP, b.groups[b.ppGroupName(sh, t)],
 								[]topo.GPUID{b.gpu(s, sh, t), b.gpu(s+1, sh, t)},
 								b.srBytes, t, it, m, trace.Steady))
 						}
 						if s > 0 {
 							srB[key] = b.add(b.collTask(
-								fmt.Sprintf("SRb s%d>s%d d%d c%d e%d r%d mb%d", s, s-1, sh.d, sh.c, sh.e, t, m),
-								parallelism.SendRecv, parallelism.PP, b.ppGroupName(sh, t),
+								b.fmtd("SRb s%d>s%d d%d c%d e%d r%d mb%d", s, s-1, sh.d, sh.c, sh.e, t, m),
+								parallelism.SendRecv, parallelism.PP, b.groups[b.ppGroupName(sh, t)],
 								[]topo.GPUID{b.gpu(s, sh, t), b.gpu(s-1, sh, t)},
 								b.srBytes, t, it, m, trace.Steady))
 						}
@@ -580,8 +662,8 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 						var prev *bt
 						for bi, bl := range blobs {
 							n := b.add(b.collTask(
-								fmt.Sprintf("AG %s s%d c%d e%d r%d", bl.label, s, c, e, t),
-								parallelism.AllGather, parallelism.FSDP, gname,
+								b.fsdpLabel("AG", bl.label, s, c, e, t),
+								parallelism.AllGather, parallelism.FSDP, g,
 								g.Ranks, bl.agBytes, t, it, 0, trace.WarmUp), prev)
 							if bi == 0 {
 								for d := 0; d < cfg.DP; d++ {
@@ -606,8 +688,8 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 						for bi := len(blobs) - 1; bi >= 0; bi-- {
 							bl := blobs[bi]
 							n := b.add(b.collTask(
-								fmt.Sprintf("RS %s s%d c%d e%d r%d", bl.label, s, c, e, t),
-								parallelism.ReduceScatter, parallelism.FSDP, gname,
+								b.fsdpLabel("RS", bl.label, s, c, e, t),
+								parallelism.ReduceScatter, parallelism.FSDP, g,
 								g.Ranks, bl.rsBytes, t, it, cfg.Microbatches-1, trace.CoolDown), prevRS)
 							rsTask[agKey{s, c, e, t, bi}] = n
 							prevRS = n
@@ -638,7 +720,7 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 		d, c, e, t,
 		m, l int
 	}
-	sharedColl := make(map[cKey]*bt)
+	sharedColl := make(map[cKey]*bt, b.sharedHint)
 	getShared := func(key cKey, make func() *Task, deps ...*bt) *bt {
 		n, ok := sharedColl[key]
 		if !ok {
@@ -678,10 +760,11 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 							if cfg.CP > 1 {
 								cg := b.cpGroupName(s, sh.d, sh.e, t)
 								cp := getShared(cKey{"cpag", s, sh.d, -1, sh.e, t, op.mb, l}, func() *Task {
+									g := b.groups[cg]
 									return b.collTask(
-										fmt.Sprintf("CPAG s%d d%d e%d r%d mb%d L%d", s, sh.d, sh.e, t, op.mb, l),
-										parallelism.AllGather, parallelism.CP, cg,
-										b.groups[cg].Ranks, b.cpBytes, t, it, op.mb, op.phase)
+										b.fmtd("CPAG s%d d%d e%d r%d mb%d L%d", s, sh.d, sh.e, t, op.mb, l),
+										parallelism.AllGather, parallelism.CP, g,
+										g.Ranks, b.cpBytes, t, it, op.mb, op.phase)
 								}, deps...)
 								deps = []*bt{cp}
 							}
@@ -690,15 +773,17 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 							if cfg.EP > 1 {
 								eg := b.epGroupName(s, sh.d, sh.c, t)
 								disp := getShared(cKey{"epd", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									g := b.groups[eg]
 									return b.collTask(
-										fmt.Sprintf("EPA2A-d s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
-										parallelism.AllToAll, parallelism.EP, eg,
-										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+										b.fmtd("EPA2A-d s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, g,
+										g.Ranks, b.epBytes, t, it, op.mb, op.phase)
 								}, deps...)
 								deps = []*bt{disp}
 							}
-							label := fmt.Sprintf("F s%d d%d c%d e%d r%d mb%d L%d", s, sh.d, sh.c, sh.e, t, op.mb, l)
-							chain = b.add(&Task{
+							label := b.fmtd("F s%d d%d c%d e%d r%d mb%d L%d", s, sh.d, sh.c, sh.e, t, op.mb, l)
+							ct := b.newTask()
+							*ct = Task{
 								Kind:       Compute,
 								Label:      label,
 								GPU:        g,
@@ -706,15 +791,17 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 								Iteration:  it,
 								Microbatch: op.mb,
 								Phase:      op.phase,
-							}, deps...)
+							}
+							chain = b.add(ct, deps...)
 							// EP: combine expert outputs after the MLP.
 							if cfg.EP > 1 {
 								eg := b.epGroupName(s, sh.d, sh.c, t)
 								chain = getShared(cKey{"epc", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									g := b.groups[eg]
 									return b.collTask(
-										fmt.Sprintf("EPA2A-c s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
-										parallelism.AllToAll, parallelism.EP, eg,
-										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+										b.fmtd("EPA2A-c s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, g,
+										g.Ranks, b.epBytes, t, it, op.mb, op.phase)
 								}, chain)
 							}
 						}
@@ -734,15 +821,17 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 							if cfg.EP > 1 {
 								eg := b.epGroupName(s, sh.d, sh.c, t)
 								comb := getShared(cKey{"epcb", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									g := b.groups[eg]
 									return b.collTask(
-										fmt.Sprintf("EPA2A-cb s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
-										parallelism.AllToAll, parallelism.EP, eg,
-										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+										b.fmtd("EPA2A-cb s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, g,
+										g.Ranks, b.epBytes, t, it, op.mb, op.phase)
 								}, deps...)
 								deps = []*bt{comb}
 							}
-							label := fmt.Sprintf("B s%d d%d c%d e%d r%d mb%d L%d", s, sh.d, sh.c, sh.e, t, op.mb, l)
-							chain = b.add(&Task{
+							label := b.fmtd("B s%d d%d c%d e%d r%d mb%d L%d", s, sh.d, sh.c, sh.e, t, op.mb, l)
+							ct := b.newTask()
+							*ct = Task{
 								Kind:       Compute,
 								Label:      label,
 								GPU:        g,
@@ -750,14 +839,16 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 								Iteration:  it,
 								Microbatch: op.mb,
 								Phase:      op.phase,
-							}, deps...)
+							}
+							chain = b.add(ct, deps...)
 							if cfg.EP > 1 {
 								eg := b.epGroupName(s, sh.d, sh.c, t)
 								chain = getShared(cKey{"epdb", s, sh.d, sh.c, -1, t, op.mb, l}, func() *Task {
+									g := b.groups[eg]
 									return b.collTask(
-										fmt.Sprintf("EPA2A-db s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
-										parallelism.AllToAll, parallelism.EP, eg,
-										b.groups[eg].Ranks, b.epBytes, t, it, op.mb, op.phase)
+										b.fmtd("EPA2A-db s%d d%d c%d r%d mb%d L%d", s, sh.d, sh.c, t, op.mb, l),
+										parallelism.AllToAll, parallelism.EP, g,
+										g.Ranks, b.epBytes, t, it, op.mb, op.phase)
 								}, chain)
 							}
 							// CP backward: reduce-scatter the context
@@ -765,10 +856,11 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 							if cfg.CP > 1 {
 								cg := b.cpGroupName(s, sh.d, sh.e, t)
 								chain = getShared(cKey{"cprs", s, sh.d, -1, sh.e, t, op.mb, l}, func() *Task {
+									g := b.groups[cg]
 									return b.collTask(
-										fmt.Sprintf("CPRS s%d d%d e%d r%d mb%d L%d", s, sh.d, sh.e, t, op.mb, l),
-										parallelism.ReduceScatter, parallelism.CP, cg,
-										b.groups[cg].Ranks, b.cpBytes, t, it, op.mb, op.phase)
+										b.fmtd("CPRS s%d d%d e%d r%d mb%d L%d", s, sh.d, sh.e, t, op.mb, l),
+										parallelism.ReduceScatter, parallelism.CP, g,
+										g.Ranks, b.cpBytes, t, it, op.mb, op.phase)
 								}, chain)
 							}
 							if cfg.DP > 1 {
@@ -841,8 +933,8 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 			for _, sh := range shards {
 				gname := b.ppGroupName(sh, t)
 				n := b.add(b.collTask(
-					fmt.Sprintf("AR norm-pp d%d c%d e%d r%d", sh.d, sh.c, sh.e, t),
-					parallelism.AllReduce, parallelism.PP, gname,
+					b.fmtd("AR norm-pp d%d c%d e%d r%d", sh.d, sh.c, sh.e, t),
+					parallelism.AllReduce, parallelism.PP, b.groups[gname],
 					b.groups[gname].Ranks, cfg.SyncARBytes, t, it, -1, trace.Sync))
 				for s := 0; s < cfg.PP; s++ {
 					if cfg.DP > 1 {
@@ -861,8 +953,8 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 					for c := 0; c < cfg.CP; c++ {
 						gname := b.fsdpGroupName(s, c, e, t)
 						arDP := b.add(b.collTask(
-							fmt.Sprintf("AR norm-dp s%d c%d e%d r%d", s, c, e, t),
-							parallelism.AllReduce, parallelism.FSDP, gname,
+							b.fmtd("AR norm-dp s%d c%d e%d r%d", s, c, e, t),
+							parallelism.AllReduce, parallelism.FSDP, b.groups[gname],
 							b.groups[gname].Ranks, cfg.SyncARBytes, t, it, -1, trace.Sync))
 						for d := 0; d < cfg.DP; d++ {
 							sh := shard{d, c, e}
@@ -877,15 +969,17 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 				}
 			}
 			for _, sh := range shards {
-				opt := b.add(&Task{
+				ot := b.newTask()
+				*ot = Task{
 					Kind:       Compute,
-					Label:      fmt.Sprintf("OPT s%d d%d c%d e%d r%d", s, sh.d, sh.c, sh.e, t),
+					Label:      b.fmtd("OPT s%d d%d c%d e%d r%d", s, sh.d, sh.c, sh.e, t),
 					GPU:        b.gpu(s, sh, t),
 					Duration:   cfg.OptimizerTime,
 					Iteration:  it,
 					Microbatch: -1,
 					Phase:      trace.Sync,
-				}, prevEnd[rkey{s, sh, t}])
+				}
+				opt := b.add(ot, prevEnd[rkey{s, sh, t}])
 				if n := arDPOf[sh]; n != nil {
 					b.addDeps(opt, n)
 				} else if n := arPPOf[sh]; n != nil {
@@ -898,8 +992,8 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 					for c := 0; c < cfg.CP; c++ {
 						gname := b.fsdpGroupName(s, c, e, t)
 						loss := b.add(b.collTask(
-							fmt.Sprintf("AR loss s%d c%d e%d r%d", s, c, e, t),
-							parallelism.AllReduce, parallelism.FSDP, gname,
+							b.fmtd("AR loss s%d c%d e%d r%d", s, c, e, t),
+							parallelism.AllReduce, parallelism.FSDP, b.groups[gname],
 							b.groups[gname].Ranks, cfg.SyncARBytes, t, it, -1, trace.Sync))
 						for d := 0; d < cfg.DP; d++ {
 							b.addDeps(loss, prevEnd[rkey{s, shard{d, c, e}, t}])
@@ -912,22 +1006,53 @@ func (b *builder) buildIteration(it int, prevEnd map[rkey]*bt) {
 			}
 		}
 	}
+	b.sharedHint = len(sharedColl)
 }
 
-// intHeap is a min-heap of creation indices for the deterministic
-// topological sort.
-type intHeap []int
+// intMinHeap is a hand-rolled min-heap of creation indices for the
+// deterministic topological sort. container/heap costs an interface
+// dispatch plus an any-box per Push/Pop, which is measurable when
+// finalize runs over hundreds of thousands of tasks.
+type intMinHeap []int
 
-func (h intHeap) Len() int           { return len(h) }
-func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
-func (h *intHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h *intMinHeap) push(x int) {
+	q := append(*h, x)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p] <= q[i] {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *intMinHeap) pop() int {
+	q := *h
+	x := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && q[l] < q[sm] {
+			sm = l
+		}
+		if r < n && q[r] < q[sm] {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		q[i], q[sm] = q[sm], q[i]
+		i = sm
+	}
+	*h = q
+	return x
 }
 
 // finalize topologically sorts the symbolic DAG (stable by creation
@@ -935,27 +1060,46 @@ func (h *intHeap) Pop() any {
 func (b *builder) finalize() ([]*Task, error) {
 	n := len(b.tasks)
 	indeg := make([]int, n)
-	succ := make([][]int, n)
+	// Successor lists live in one flat buffer, built in two counted
+	// passes (fan-out histogram, prefix sums, fill) instead of n
+	// separately grown slices.
+	nedges := 0
+	for _, t := range b.tasks {
+		nedges += len(t.deps)
+	}
+	succOff := make([]int, n+1)
 	for _, t := range b.tasks {
 		for _, d := range t.deps {
-			succ[d.idx] = append(succ[d.idx], t.idx)
+			succOff[d.idx+1]++
 			indeg[t.idx]++
 		}
 	}
-	h := &intHeap{}
+	for i := 0; i < n; i++ {
+		succOff[i+1] += succOff[i]
+	}
+	succ := make([]int, nedges)
+	fill := make([]int, n)
+	copy(fill, succOff[:n])
+	for _, t := range b.tasks {
+		for _, d := range t.deps {
+			succ[fill[d.idx]] = t.idx
+			fill[d.idx]++
+		}
+	}
+	h := make(intMinHeap, 0, n)
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			heap.Push(h, i)
+			h.push(i)
 		}
 	}
 	order := make([]int, 0, n)
-	for h.Len() > 0 {
-		i := heap.Pop(h).(int)
+	for len(h) > 0 {
+		i := h.pop()
 		order = append(order, i)
-		for _, s := range succ[i] {
+		for _, s := range succ[succOff[i]:succOff[i+1]] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				heap.Push(h, s)
+				h.push(s)
 			}
 		}
 	}
@@ -966,18 +1110,24 @@ func (b *builder) finalize() ([]*Task, error) {
 	for rank, idx := range order {
 		id[idx] = TaskID(rank)
 	}
+	// Dep lists are carved from one flat buffer; duplicates are rare
+	// and lists are short, so a linear scan beats a per-task map.
+	depbuf := make([]TaskID, 0, nedges)
 	out := make([]*Task, n)
 	for _, t := range b.tasks {
 		t.task.ID = id[t.idx]
-		t.task.Deps = t.task.Deps[:0]
-		seen := make(map[TaskID]bool, len(t.deps))
+		start := len(depbuf)
+	deps:
 		for _, d := range t.deps {
 			did := id[d.idx]
-			if !seen[did] {
-				t.task.Deps = append(t.task.Deps, did)
-				seen[did] = true
+			for _, e := range depbuf[start:] {
+				if e == did {
+					continue deps
+				}
 			}
+			depbuf = append(depbuf, did)
 		}
+		t.task.Deps = depbuf[start:len(depbuf):len(depbuf)]
 		out[t.task.ID] = t.task
 	}
 	return out, nil

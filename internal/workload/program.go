@@ -10,6 +10,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"photonrail/internal/collective"
 	"photonrail/internal/parallelism"
@@ -70,6 +71,12 @@ type Task struct {
 func (t *Task) IsCollective() bool { return t.Kind == Collective }
 
 // Program is a complete multi-iteration training program.
+//
+// A Program is immutable once built and may be shared by any number of
+// concurrent simulation runs (the staged pipeline compiles each
+// workload once and reuses the Program across every fabric and latency
+// variant). Programs are always handled by pointer; the lazily built
+// runtime index below must not be copied.
 type Program struct {
 	// Cluster is the topology the program runs on.
 	Cluster *topo.Cluster
@@ -81,6 +88,79 @@ type Program struct {
 	Groups map[string]*collective.Group
 	// Iterations is the iteration count.
 	Iterations int
+
+	idxOnce sync.Once
+	idx     *Index
+}
+
+// Index is a Program's derived runtime index: the DAG structure every
+// run re-derived per execution (successor lists, dependency indegrees)
+// computed once and shared, plus an attachment point for other
+// per-program caches. All fields are immutable after construction; Aux
+// is internally synchronized. Treat Succ and Indeg as read-only —
+// executors copy Indeg into per-run scratch before counting down.
+type Index struct {
+	// Succ[id] lists the tasks depending on id.
+	Succ [][]TaskID
+	// Indeg[id] is task id's dependency count.
+	Indeg []int
+
+	mu  sync.Mutex
+	aux map[any]any
+}
+
+// Index returns the program's runtime index, building it on first use.
+// Safe for concurrent use; every caller sees the same index.
+func (p *Program) Index() *Index {
+	p.idxOnce.Do(func() {
+		ix := &Index{
+			Succ:  make([][]TaskID, len(p.Tasks)),
+			Indeg: make([]int, len(p.Tasks)),
+			aux:   make(map[any]any),
+		}
+		// Successor lists are carved from one flat buffer sized by a
+		// counting pass, instead of n separately grown slices.
+		nedges := 0
+		for _, t := range p.Tasks {
+			ix.Indeg[t.ID] = len(t.Deps)
+			nedges += len(t.Deps)
+		}
+		buf := make([]TaskID, nedges)
+		off := make([]int, len(p.Tasks))
+		for _, t := range p.Tasks {
+			for _, d := range t.Deps {
+				off[d]++
+			}
+		}
+		pos := 0
+		for i, n := range off {
+			ix.Succ[i] = buf[pos : pos : pos+n]
+			pos += n
+		}
+		for _, t := range p.Tasks {
+			for _, d := range t.Deps {
+				ix.Succ[d] = append(ix.Succ[d], t.ID)
+			}
+		}
+		p.idx = ix
+	})
+	return p.idx
+}
+
+// Aux returns the per-program cache value under key, building it with
+// build on first request. The comparable key identifies the cache (e.g.
+// a port-plan value); build runs at most once per key and the built
+// value is shared by all callers, so it must be safe for concurrent
+// use.
+func (ix *Index) Aux(key any, build func() any) any {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if v, ok := ix.aux[key]; ok {
+		return v
+	}
+	v := build()
+	ix.aux[key] = v
+	return v
 }
 
 // Validate checks DAG structural invariants: dependencies point

@@ -182,6 +182,13 @@ type Result struct {
 
 // Simulate runs the workload on the fabric and reports timing and
 // controller telemetry.
+//
+// Simulate is the monolithic reference path: it compiles the workload
+// and runs the simulation end to end, uncached, on every call. The
+// staged pipeline behind Engine.Simulate (Build → Provision → Time,
+// each memoized) produces byte-identical results and is what every
+// experiment driver uses; this entry point stays alive as the oracle
+// the equivalence tests pin the pipeline against.
 func Simulate(w Workload, f Fabric) (*Result, error) {
 	res, _, err := simulate(w, f, false)
 	return res, err
@@ -253,26 +260,27 @@ func provisionedStableRuns(w Workload, latencyMS float64) (*Result, int, error) 
 	return out, passes, nil
 }
 
-func simulate(w Workload, f Fabric, recordTrace bool) (*Result, *netsim.Result, error) {
-	var topoKind topo.FabricKind
-	var mode netsim.Mode
+// fabricRealization maps a Fabric to the topology kind the workload
+// compiles against and the simulator mode it executes under.
+func fabricRealization(f Fabric) (topo.FabricKind, netsim.Mode, error) {
+	if f.ReconfigLatencyMS < 0 {
+		return 0, 0, fmt.Errorf("photonrail: negative reconfiguration latency")
+	}
 	switch f.Kind {
 	case ElectricalRail:
-		topoKind, mode = topo.FabricElectricalRail, netsim.Electrical
+		return topo.FabricElectricalRail, netsim.Electrical, nil
 	case PhotonicRail:
-		topoKind, mode = topo.FabricPhotonicRail, netsim.Photonic
+		return topo.FabricPhotonicRail, netsim.Photonic, nil
 	case PhotonicStaticPartition:
-		topoKind, mode = topo.FabricPhotonicRail, netsim.PhotonicStatic
+		return topo.FabricPhotonicRail, netsim.PhotonicStatic, nil
 	default:
-		return nil, nil, fmt.Errorf("photonrail: unknown fabric kind %d", f.Kind)
+		return 0, 0, fmt.Errorf("photonrail: unknown fabric kind %d", f.Kind)
 	}
-	if f.ReconfigLatencyMS < 0 {
-		return nil, nil, fmt.Errorf("photonrail: negative reconfiguration latency")
-	}
-	prog, err := w.build(topoKind)
-	if err != nil {
-		return nil, nil, err
-	}
+}
+
+// runProgram executes a compiled program on the fabric (the Time stage)
+// and wraps the outcome.
+func runProgram(prog *workload.Program, mode netsim.Mode, f Fabric, recordTrace bool) (*Result, *netsim.Result, error) {
 	inner, err := netsim.Run(prog, netsim.Options{
 		Mode:            mode,
 		ReconfigLatency: units.FromMilliseconds(f.ReconfigLatencyMS),
@@ -282,6 +290,11 @@ func simulate(w Workload, f Fabric, recordTrace bool) (*Result, *netsim.Result, 
 	if err != nil {
 		return nil, nil, err
 	}
+	return wrapResult(inner), inner, nil
+}
+
+// wrapResult converts a simulator result into the public form.
+func wrapResult(inner *netsim.Result) *Result {
 	res := &Result{
 		TotalSeconds:         inner.Total.Seconds(),
 		MeanIterationSeconds: inner.MeanIterationTime().Seconds(),
@@ -294,5 +307,17 @@ func simulate(w Workload, f Fabric, recordTrace bool) (*Result, *netsim.Result, 
 	for _, it := range inner.IterationTimes {
 		res.IterationSeconds = append(res.IterationSeconds, it.Seconds())
 	}
-	return res, inner, nil
+	return res
+}
+
+func simulate(w Workload, f Fabric, recordTrace bool) (*Result, *netsim.Result, error) {
+	topoKind, mode, err := fabricRealization(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := w.build(topoKind)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runProgram(prog, mode, f, recordTrace)
 }

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# bench_diff.sh — CI performance gate against the committed trajectory.
+#
+# Runs the short benchmarks fresh and compares each against the latest
+# committed BENCH_<N>.json snapshot by name, failing when ns/op regresses
+# more than the threshold. To keep one-shot (-benchtime 1x) noise from
+# tripping the gate:
+#   - the fresh value is the MIN over -count runs (min is the robust
+#     statistic for "has the code gotten slower");
+#   - benchmarks faster than MIN_NS are skipped (sub-millisecond one-shot
+#     timings are dominated by scheduling noise, and a regression there
+#     is invisible in wall time);
+#   - the threshold is generous (25%): this is a trajectory guard against
+#     real regressions, not a microbenchmark tribunal.
+#
+# Usage: scripts/bench_diff.sh [baseline.json]
+# Default baseline: the highest-numbered BENCH_<N>.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT="${BENCH_DIFF_THRESHOLD_PCT:-25}"
+MIN_NS="${BENCH_DIFF_MIN_NS:-1000000}" # skip benchmarks under 1ms
+COUNT="${BENCH_DIFF_COUNT:-3}"
+
+if [ $# -ge 1 ]; then
+    baseline="$1"
+else
+    baseline="$(ls BENCH_*.json 2>/dev/null | sed -E 's/^BENCH_([0-9]+)\.json$/\1/' | sort -n | tail -1)"
+    [ -n "$baseline" ] || { echo "bench_diff: no BENCH_<N>.json baseline found" >&2; exit 1; }
+    baseline="BENCH_${baseline}.json"
+fi
+echo "bench_diff: baseline $baseline, threshold ${THRESHOLD_PCT}%, min ${MIN_NS} ns, count ${COUNT}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -short -run '^$' -bench . -benchtime 1x -count "$COUNT" ./... | tee "$raw"
+
+awk -v baseline="$baseline" -v thresh="$THRESHOLD_PCT" -v minns="$MIN_NS" '
+    # Pass 1: committed baseline ns/op by benchmark name.
+    FILENAME == baseline {
+        if (match($0, /"name": "[^"]+"/)) {
+            name = substr($0, RSTART + 9, RLENGTH - 10)
+            if (match($0, /"ns_per_op": [0-9]+/)) {
+                base[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+            }
+        }
+        next
+    }
+    # Pass 2: fresh runs; keep the min ns/op per name.
+    /^Benchmark/ && NF >= 4 && $4 == "ns/op" {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = $3 + 0
+        if (!(name in fresh) || ns < fresh[name]) fresh[name] = ns
+    }
+    END {
+        fail = 0
+        for (name in fresh) {
+            if (!(name in base)) {
+                printf "new:  %-50s %12d ns/op (no baseline)\n", name, fresh[name]
+                continue
+            }
+            b = base[name]; f = fresh[name]
+            if (b < minns && f < minns) {
+                printf "skip: %-50s %12d -> %12d ns/op (tiny)\n", name, b, f
+                continue
+            }
+            pct = (f - b) * 100.0 / b
+            if (pct > thresh) {
+                printf "FAIL: %-50s %12d -> %12d ns/op (%+.1f%% > %d%%)\n", name, b, f, pct, thresh
+                fail = 1
+            } else {
+                printf "ok:   %-50s %12d -> %12d ns/op (%+.1f%%)\n", name, b, f, pct
+            }
+        }
+        for (name in base) {
+            if (!(name in fresh)) {
+                printf "FAIL: %-50s gone (present in %s, not in fresh run)\n", name, baseline
+                fail = 1
+            }
+        }
+        exit fail
+    }
+' "$baseline" "$raw"

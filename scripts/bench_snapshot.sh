@@ -1,33 +1,59 @@
 #!/usr/bin/env bash
 # bench_snapshot.sh — record one point of the performance trajectory.
 #
-# Runs the module's short benchmarks once (the same invocation CI's
-# short-benchmark step uses) and writes a machine-readable snapshot to
+# Runs the module's short benchmarks (the same suite CI's perf gate,
+# scripts/bench_diff.sh, runs) and writes a machine-readable snapshot to
 # BENCH_<N>.json at the repo root, so successive PRs leave a comparable
 # series (BENCH_5.json, BENCH_6.json, ...) instead of only transient CI
-# artifacts. ns_per_op is wall time of ONE run (-benchtime 1x): it
-# tracks trends and regressions at coarse grain, not microbenchmark
-# precision.
+# artifacts. ns_per_op is the MIN wall time over three one-shot runs
+# (-benchtime 1x -count 3): the min discards GC/scheduling flukes, so
+# the series tracks trends and regressions at coarse grain without
+# recording a noisy outlier as the trajectory. bytes_per_op /
+# allocs_per_op (-benchmem) are close to deterministic and comparable
+# at much finer grain; they are taken from the same run as the min.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]   (default BENCH_5.json)
+# Usage: scripts/bench_snapshot.sh [output.json]
+# Default output: BENCH_<N+1>.json where N is the highest snapshot
+# number present at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+if [ $# -ge 1 ]; then
+    out="$1"
+else
+    # Derive the next snapshot number from the highest existing one.
+    last="$(ls BENCH_*.json 2>/dev/null | sed -E 's/^BENCH_([0-9]+)\.json$/\1/' | sort -n | tail -1)"
+    out="BENCH_$((${last:-0} + 1)).json"
+fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -short -run '^$' -bench . -benchtime 1x ./... | tee "$raw"
+go test -short -run '^$' -bench . -benchtime 1x -count 3 -benchmem ./... | tee "$raw"
 
 goversion="$(go env GOVERSION)"
 awk -v out="$out" -v goversion="$goversion" '
     /^Benchmark/ && NF >= 4 && $4 == "ns/op" {
-        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
-        benches = benches sep line
-        sep = ",\n"
+        name = $1
+        sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+        ns = $3 + 0
+        if (!(name in min) || ns < min[name]) {
+            min[name] = ns
+            iters[name] = $2
+            mem[name] = ""
+            if (NF >= 8 && $6 == "B/op" && $8 == "allocs/op") {
+                mem[name] = sprintf(", \"bytes_per_op\": %s, \"allocs_per_op\": %s", $5, $7)
+            }
+        }
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
     }
     END {
-        printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"1x -short\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", goversion, benches > out
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters[name], min[name], mem[name])
+            benches = benches sep line
+            sep = ",\n"
+        }
+        printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"1x -short (min of 3)\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", goversion, benches > out
     }
 ' "$raw"
 
