@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"photonrail/internal/railserve"
+)
+
+// benchTarget is an in-process raild plus an HTTP server exposing its
+// telemetry — the pair railbench drives in production.
+func benchTarget(tb testing.TB) (*railserve.Server, *httptest.Server) {
+	tb.Helper()
+	s, err := railserve.NewServer(railserve.Config{Workers: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Telemetry().Handler())
+	tb.Cleanup(func() {
+		hs.Close()
+		_ = s.Close()
+		s.Drain()
+	})
+	return s, hs
+}
+
+// TestRunCrossChecksScrape is the load generator's acceptance loop:
+// 8 concurrent clients issue a mixed deterministic stream, and the
+// daemon's scraped request-duration histogram must have counted
+// exactly the issued requests — every admitted request sampled exactly
+// once, none lost, none double-counted.
+func TestRunCrossChecksScrape(t *testing.T) {
+	s, hs := benchTarget(t)
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-addr", s.Addr(), "-clients", "8", "-requests", "24",
+		"-metrics", hs.URL, "-json",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report %q: %v", out.String(), err)
+	}
+	if rep.Requests != 24 || rep.Errors != 0 {
+		t.Errorf("report = %+v, want 24 requests, 0 errors", rep)
+	}
+	if rep.ScrapedSamples != 24 {
+		t.Errorf("scraped samples = %v, want 24", rep.ScrapedSamples)
+	}
+	if rep.P50Sec <= 0 || rep.P99Sec < rep.P50Sec {
+		t.Errorf("quantiles p50=%v p99=%v", rep.P50Sec, rep.P99Sec)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", rep.ThroughputRPS)
+	}
+}
+
+// TestRunTextReport covers the human-readable output path.
+func TestRunTextReport(t *testing.T) {
+	s, _ := benchTarget(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", s.Addr(), "-clients", "2", "-requests", "4", "-mix", "small"},
+		&out, &errb); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"4 requests", "2 clients", "p50", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunDeterministicMix: the same seed draws the same request
+// stream; a different seed draws a different one (cells differ).
+func TestRunDeterministicMix(t *testing.T) {
+	cellsFor := func(seed string) int {
+		t.Helper()
+		s, _ := benchTarget(t)
+		var out, errb bytes.Buffer
+		if err := run([]string{"-addr", s.Addr(), "-requests", "12", "-seed", seed, "-json"},
+			&out, &errb); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+		}
+		var rep report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Cells
+	}
+	a1, a2 := cellsFor("42"), cellsFor("42")
+	if a1 != a2 {
+		t.Errorf("same seed drew different mixes: %d vs %d cells", a1, a2)
+	}
+}
+
+// TestRunRejectsBadFlags: flag validation fails before any dialing.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{}, // no addr
+		{"-addr", "x", "-clients", "0"},
+		{"-addr", "x", "-requests", "0"},
+		{"-addr", "x", "-mix", "nonsense"},
+		{"-addr", "x", "-mix", " , "},
+		{"-addr", "x", "positional"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// BenchmarkRailbenchSmoke is the CI perf-trajectory point for the
+// request path: one small mixed load against an in-process daemon.
+func BenchmarkRailbenchSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := railserve.NewServer(railserve.Config{Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var out, errb bytes.Buffer
+		if err := run([]string{"-addr", s.Addr(), "-clients", "4", "-requests", "8", "-json"},
+			&out, &errb); err != nil {
+			b.Fatalf("run: %v\nstderr: %s", err, errb.String())
+		}
+		b.StopTimer()
+		_ = s.Close()
+		s.Drain()
+		b.StartTimer()
+	}
+}

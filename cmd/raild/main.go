@@ -12,6 +12,7 @@
 //	raild                            # listen on 127.0.0.1:9090
 //	raild -addr :7070 -parallel 8    # custom address and pool size
 //	raild -cache 4096                # cache at most 4096 simulation units
+//	raild -metrics-addr :9190        # also serve /metrics and /events over HTTP
 //
 // Drive it with cmd/railclient, which accepts railgrid's dimension
 // flags for grid sweeps and -exp for any registered experiment.
@@ -22,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		addr     = fs.String("addr", "127.0.0.1:9090", "TCP listen address")
 		parallel = fs.Int("parallel", 0, "worker count (0 = NumCPU)")
 		cache    = fs.Int64("cache", 4096, "max cached simulation cost in units (0 = unbounded)")
+		metrics  = fs.String("metrics-addr", "", "HTTP address for /metrics and /events (empty = disabled)")
 		verbose  = fs.Bool("verbose", false, "log each served request to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +79,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	s, err := railserve.NewServer(cfg)
 	if err != nil {
 		return err
+	}
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			_ = s.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		hs := &http.Server{Handler: s.Telemetry().Handler()}
+		go func() { _ = hs.Serve(ln) }() // Serve returns once hs is closed below
+		defer func() { _ = hs.Close() }()
+		fmt.Fprintf(stdout, "raild: metrics on http://%s/metrics\n", ln.Addr())
 	}
 	fmt.Fprintf(stdout, "raild: listening on %s\n", s.Addr())
 	<-stop

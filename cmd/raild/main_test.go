@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -67,6 +70,59 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		stop := make(chan os.Signal)
 		if err := run(args, &out, &errb, stop); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunServesMetrics: with -metrics-addr the daemon also exposes the
+// observability surface over HTTP — /metrics in Prometheus text format
+// and /events as an SSE stream.
+func TestRunServesMetrics(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	var out, errb syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0"}, &out, &errb, stop)
+	}()
+	defer func() {
+		stop <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never shut down")
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	re := regexp.MustCompile(`metrics on (http://[^/\s]+)/metrics`)
+	var base string
+	for {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its metrics address; out: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"raild_requests_inflight", "raild_cache_hits_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %s:\n%s", want, body)
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	railfleet -backends 10.0.0.1:9090,10.0.0.2:9090     # listen on 127.0.0.1:9091
 //	railfleet -addr :7071 -backends host:9090 -inflight 32
 //	railfleet -backends ... -verbose                     # log requests and failovers
+//	railfleet -backends ... -metrics-addr :9191          # serve /metrics and /events over HTTP
 //
 // Backends are dialed lazily and re-probed after failures, so the
 // fleet may come up (and restart) in any order.
@@ -21,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		backends = fs.String("backends", "", "comma-separated raild backend addresses (required)")
 		inflight = fs.Int("inflight", railfleet.DefaultInFlight, "max cells in flight per backend per request")
 		batchTO  = fs.Duration("batch-timeout", railfleet.DefaultBatchTimeout, "per-batch wedge bound before a backend's cells re-shard (<0 = unbounded)")
+		metrics  = fs.String("metrics-addr", "", "HTTP address for /metrics and /events (empty = disabled)")
 		verbose  = fs.Bool("verbose", false, "log served requests and failover events to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +90,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	f, err := railfleet.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			_ = f.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		hs := &http.Server{Handler: f.Telemetry().Handler()}
+		go func() { _ = hs.Serve(ln) }() // Serve returns once hs is closed below
+		defer func() { _ = hs.Close() }()
+		fmt.Fprintf(stdout, "railfleet: metrics on http://%s/metrics\n", ln.Addr())
 	}
 	fmt.Fprintf(stdout, "railfleet: listening on %s, %d backends: %s\n", f.Addr(), len(addrs), strings.Join(addrs, ", "))
 	<-stop

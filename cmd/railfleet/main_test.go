@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -74,6 +77,56 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		stop := make(chan os.Signal)
 		if err := run(args, &out, &errb, stop); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunServesMetrics: with -metrics-addr the coordinator exposes its
+// fleet-level observability surface over HTTP.
+func TestRunServesMetrics(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	var out, errb syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-backends", "127.0.0.1:1",
+			"-metrics-addr", "127.0.0.1:0"}, &out, &errb, stop)
+	}()
+	defer func() {
+		stop <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("coordinator never shut down")
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	re := regexp.MustCompile(`metrics on (http://[^/\s]+)/metrics`)
+	var base string
+	for {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never reported its metrics address; out: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"railfleet_requests_inflight", "railfleet_failovers_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %s:\n%s", want, body)
 		}
 	}
 }

@@ -157,6 +157,17 @@ func (en *Engine) CacheStats() CacheStats {
 	}
 }
 
+// SetStageObserver installs (or, with nil, removes) a hook receiving
+// the wall-clock duration of every simulation actually computed
+// (cache misses only), labeled with its pipeline stage ("build",
+// "provision", "time"; "" for unstaged keys). The daemon uses it to
+// feed per-stage compute-latency histograms. The hook runs on the
+// computation goroutine with no engine lock held; it must be cheap and
+// non-blocking.
+func (en *Engine) SetStageObserver(fn func(stage string, seconds float64)) {
+	en.pool.SetObserver(fn)
+}
+
 // ResetCache drops all memoized simulation results (telemetry counters
 // keep accumulating). In-flight simulations survive: their callers
 // still get results, and concurrent requests for an in-flight key keep

@@ -48,6 +48,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Engine is a bounded worker pool with a memoizing result cache.
@@ -67,6 +68,33 @@ type Engine struct {
 
 	stageMu sync.Mutex
 	stages  map[string]*stageCounter
+
+	// observe, when set, receives the wall-clock duration of every
+	// computed (miss-path) result, labeled with its stage — the raw feed
+	// behind per-stage compute-latency histograms. It runs on the
+	// computation goroutine with no engine lock held and must be cheap
+	// and non-blocking; hits never pay for it.
+	obsMu   sync.RWMutex
+	observe func(stage string, seconds float64)
+}
+
+// SetObserver installs (or, with nil, removes) the per-computation
+// duration observer; see the field doc for its contract.
+func (e *Engine) SetObserver(fn func(stage string, seconds float64)) {
+	e.obsMu.Lock()
+	e.observe = fn
+	e.obsMu.Unlock()
+}
+
+// observeCompute reports one computed result's duration to the
+// observer, if any.
+func (e *Engine) observeCompute(key string, seconds float64) {
+	e.obsMu.RLock()
+	fn := e.observe
+	e.obsMu.RUnlock()
+	if fn != nil {
+		fn(stageOf(key), seconds)
+	}
 }
 
 // stageCounter accumulates one stage's hit/miss telemetry.
@@ -335,7 +363,9 @@ func (e *Engine) compute(ent *entry, fn func(ctx context.Context) (any, error)) 
 		e.inflight.Add(-1)
 		e.finish(ent)
 	}()
+	start := time.Now()
 	ent.val, ent.err = fn(ent.runCtx)
+	e.observeCompute(ent.key, time.Since(start).Seconds())
 }
 
 // finish installs a completed computation: memoized on the LRU list, or

@@ -16,6 +16,7 @@ import (
 	"photonrail/internal/opusnet"
 	"photonrail/internal/railserve"
 	"photonrail/internal/scenario"
+	"photonrail/internal/telemetry"
 )
 
 // fleet is one in-process coordinator + backends on the fault network.
@@ -381,14 +382,17 @@ func TestFleetHeldBackendStallsThenCompletes(t *testing.T) {
 		res <- outcome{run, err}
 	}()
 
-	// The unheld backend finishes its whole share while b0 is gagged.
-	deadline := time.Now().Add(60 * time.Second)
-	for fl.backends[1].Stats().CellsExecuted < uint64(len(assignment[1])) {
-		if time.Now().After(deadline) {
-			t.Fatal("unheld backend never finished its share")
+	// The unheld backend finishes its whole share while b0 is gagged —
+	// a deterministic wait on the coordinator's cell_complete events
+	// (emitted only after a batch's rows are committed, so this is
+	// strictly stronger than the old submission-counter poll).
+	doneB1 := 0
+	waitEvent(t, fl.coord.Telemetry(), func(ev telemetry.Event) bool {
+		if ev.Type == "cell_complete" && ev.Backend == "b1" {
+			doneB1 += ev.Cells
 		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return doneB1 >= len(assignment[1])
+	})
 	select {
 	case out := <-res:
 		t.Fatalf("result delivered while a backend was held: %+v", out)
@@ -431,11 +435,12 @@ func TestFleetSingleflightDedup(t *testing.T) {
 		}()
 	}
 	submit(c1)
-	// The second joins once the first's execution is registered.
-	cs := fl.dialCoord(t)
-	waitCoordStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.GridsExecuted == 1 })
+	// The second joins once the first's execution is registered: the
+	// "submitted" event is emitted strictly after the run is visible in
+	// the coordinator's run map, so the join is guaranteed, not timed.
+	waitEvent(t, fl.coord.Telemetry(), func(ev telemetry.Event) bool { return ev.Type == "submitted" })
 	submit(c2)
-	waitCoordStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.GridsDeduped == 1 })
+	waitEvent(t, fl.coord.Telemetry(), func(ev telemetry.Event) bool { return ev.Type == "deduped" })
 	close(gate)
 	var runs []*railserve.GridRun
 	for i := 0; i < 2; i++ {
@@ -453,21 +458,16 @@ func TestFleetSingleflightDedup(t *testing.T) {
 	}
 }
 
-func waitCoordStats(t *testing.T, c *railserve.Client, cond func(opusnet.CacheStatsPayload) bool) {
+// waitEvent blocks until pred matches over the telemetry event stream
+// (retained ring replayed first, then live events) — the deterministic
+// replacement for the old waitCoordStats sleep-poll: a successful
+// return guarantees the predicate saw a complete event window.
+func waitEvent(t *testing.T, tel *telemetry.Set, pred func(telemetry.Event) bool) {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		st, err := c.Stats()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if cond(st) {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("stats condition never met: %+v", st)
-		}
-		time.Sleep(2 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := tel.Events.WaitFor(ctx, pred); err != nil {
+		t.Fatalf("event wait: %v", err)
 	}
 }
 
@@ -547,8 +547,9 @@ func TestFleetExpCancelPropagates(t *testing.T) {
 		_, err := c.RunExperiment(ctx, opusnet.ExpRequestPayload{Name: "grid", Grid: &spec}, nil)
 		done <- err
 	}()
-	cs := fl.dialCoord(t)
-	waitCoordStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.ExpsExecuted == 1 })
+	waitEvent(t, fl.coord.Telemetry(), func(ev telemetry.Event) bool {
+		return ev.Type == "submitted" && ev.Exp == "grid"
+	})
 	cancel()
 	select {
 	case err := <-done:
@@ -559,7 +560,7 @@ func TestFleetExpCancelPropagates(t *testing.T) {
 		t.Fatal("cancelled fleet experiment did not return promptly")
 	}
 	// The connection survives the cancellation.
-	if _, err := cs.Stats(); err != nil {
+	if _, err := c.Stats(); err != nil {
 		t.Fatal(err)
 	}
 }

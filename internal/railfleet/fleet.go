@@ -10,6 +10,7 @@ import (
 	"photonrail/internal/opusnet"
 	"photonrail/internal/railserve"
 	"photonrail/internal/scenario"
+	"photonrail/internal/telemetry"
 )
 
 // backend is one raild daemon the coordinator shards cells onto.
@@ -24,6 +25,34 @@ type backend struct {
 	healthy  bool
 	cells    uint64
 	failures uint64
+	// lastStats retains the backend's most recent successful stats_resp
+	// so an unreachable backend keeps contributing its last-known-good
+	// counters to fleet aggregates (Coordinator.Stats) instead of its
+	// contribution silently vanishing.
+	lastStats opusnet.CacheStatsPayload
+}
+
+// retainStats records a successful stats query's payload.
+func (b *backend) retainStats(st opusnet.CacheStatsPayload) {
+	b.mu.Lock()
+	b.lastStats = st
+	b.mu.Unlock()
+}
+
+// retainedStats returns the last successfully retained stats payload
+// (zero counters for a backend never successfully queried).
+func (b *backend) retainedStats() opusnet.CacheStatsPayload {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastStats
+}
+
+// setUnhealthy records a failed stats query without counting it as a
+// request failure (failures tracks mid-request failovers).
+func (b *backend) setUnhealthy() {
+	b.mu.Lock()
+	b.healthy = false
+	b.mu.Unlock()
 }
 
 // get returns the backend's client, dialing if none is connected. A
@@ -99,11 +128,12 @@ func (b *backend) snapshot() (opusnet.BackendStatsPayload, *railserve.Client) {
 	}, b.client
 }
 
-// close drops the backend's connection (joining its reader) and
-// refuses future dials.
+// close drops the backend's connection (joining its reader), marks the
+// backend unhealthy, and refuses future dials.
 func (b *backend) close() {
 	b.mu.Lock()
 	b.closed = true
+	b.healthy = false
 	c := b.client
 	b.client = nil
 	b.mu.Unlock()
@@ -199,6 +229,17 @@ func (f *Coordinator) executeGrid(ctx context.Context, spec scenario.Spec, grid 
 		if f.logf != nil {
 			f.logf("railfleet: grid %q wave %d: %d cells across %d backends", grid.Name, wave, len(remaining), len(assignment))
 		}
+		// One sharded event per (wave, backend), in backend order so the
+		// event stream is deterministic for a given assignment.
+		shardOrder := make([]int, 0, len(assignment))
+		for bi := range assignment {
+			shardOrder = append(shardOrder, bi)
+		}
+		sort.Ints(shardOrder)
+		for _, bi := range shardOrder {
+			f.tel.Events.Emit(telemetry.Event{Type: "sharded", Exp: grid.Name,
+				Backend: f.backends[bi].addr, Cells: len(assignment[bi]), Wave: wave})
+		}
 		var wg sync.WaitGroup
 		var fmu sync.Mutex
 		var failed []int
@@ -220,12 +261,17 @@ func (f *Coordinator) executeGrid(ctx context.Context, spec scenario.Spec, grid 
 							f.logf("railfleet: backend %s failed %d cells of grid %q: %v (re-sharding)",
 								b.addr, len(idxs)-start, grid.Name, err)
 						}
+						f.failoversC.Inc()
+						f.tel.Events.Emit(telemetry.Event{Type: "failover", Exp: grid.Name,
+							Backend: b.addr, Cells: len(idxs) - start, Wave: wave, Err: err.Error()})
 						fmu.Lock()
 						excluded[b.index] = true
 						failed = append(failed, idxs[start:]...)
 						fmu.Unlock()
 						return
 					}
+					f.tel.Events.Emit(telemetry.Event{Type: "cell_complete", Exp: grid.Name,
+						Backend: b.addr, Cells: end - start, Wave: wave})
 				}
 			}()
 		}

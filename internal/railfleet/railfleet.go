@@ -38,6 +38,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"photonrail"
@@ -45,6 +46,7 @@ import (
 	"photonrail/internal/opusnet"
 	"photonrail/internal/railserve"
 	"photonrail/internal/scenario"
+	"photonrail/internal/telemetry"
 )
 
 // Config parameterizes New.
@@ -85,6 +87,11 @@ const DefaultInFlight = 16
 // it only fires on genuinely stuck backends.
 const DefaultBatchTimeout = 5 * time.Minute
 
+// eventRingCapacity bounds the coordinator's request-lifecycle event
+// ring (see the railserve twin): a fig8-5d fan-out emits a few hundred
+// sharded/cell_complete events, so 4096 retains several full grids.
+const eventRingCapacity = 4096
+
 // Coordinator is the fleet front end.
 type Coordinator struct {
 	ln           net.Listener
@@ -92,6 +99,16 @@ type Coordinator struct {
 	inFlight     int
 	batchTimeout time.Duration
 	logf         func(format string, args ...any)
+
+	// tel is the coordinator's observability surface: sampled
+	// stats_resp metrics (via Stats, so a scrape and a stats frame
+	// agree), live request gauges/histograms, the failover counter, and
+	// the lifecycle event ring.
+	tel        *telemetry.Set
+	reqSeq     atomic.Uint64
+	inflightG  *telemetry.Gauge
+	durations  *telemetry.HistogramVec
+	failoversC *telemetry.Counter
 
 	// baseCtx parents every fleet execution and request wait; Close
 	// cancels it.
@@ -171,9 +188,72 @@ func New(cfg Config) (*Coordinator, error) {
 	for i, addr := range cfg.Backends {
 		f.backends = append(f.backends, &backend{index: i, addr: addr, dial: dial})
 	}
+	f.tel = telemetry.NewSet(eventRingCapacity, func() int64 { return time.Now().UnixNano() })
+	f.inflightG = f.tel.Metrics.Gauge("railfleet_requests_inflight",
+		"Requests admitted (validated and joined or started a fleet execution) and awaiting their final reply.")
+	f.durations = f.tel.Metrics.HistogramVec("railfleet_request_duration_seconds",
+		"Admitted-request wall time from arrival to final reply, by experiment (grid_req labels as \"grid\").",
+		telemetry.DefLatencyBuckets, "experiment")
+	f.failoversC = f.tel.Metrics.Counter("railfleet_failovers_total",
+		"Backend failures mid-request whose work was re-sharded to (or retried on) the surviving backends.")
+	opusnet.RegisterStatsMetrics(f.tel.Metrics, "railfleet", f.Stats)
 	f.wg.Add(1)
 	go f.acceptLoop()
 	return f, nil
+}
+
+// Telemetry exposes the coordinator's metrics registry and event log;
+// cmd/railfleet serves Telemetry().Handler() on -metrics-addr, and the
+// fleet tests wait deterministically on Telemetry().Events.
+func (f *Coordinator) Telemetry() *telemetry.Set { return f.tel }
+
+// reqObs carries one admitted request's observability lifecycle —
+// railserve's twin, over the coordinator's instruments.
+type reqObs struct {
+	tel       *telemetry.Set
+	inflightG *telemetry.Gauge
+	durations *telemetry.HistogramVec
+	id        string
+	exp       string
+	key       string
+	cells     int
+	start     time.Time
+}
+
+func (f *Coordinator) beginReq(expName, key string, cells int) *reqObs {
+	f.inflightG.Inc()
+	return &reqObs{
+		tel: f.tel, inflightG: f.inflightG, durations: f.durations,
+		id:  fmt.Sprintf("r%d", f.reqSeq.Add(1)),
+		exp: expName, key: key, cells: cells, start: time.Now(),
+	}
+}
+
+// admitted emits submitted/deduped; call with no coordinator lock held,
+// after the join decision is visible in the counters.
+func (ro *reqObs) admitted(shared bool) {
+	typ := "submitted"
+	if shared {
+		typ = "deduped"
+	}
+	ro.tel.Events.Emit(telemetry.Event{Type: typ, Req: ro.id, Exp: ro.exp, Key: ro.key, Cells: ro.cells})
+}
+
+// finish lands the request's one histogram sample and terminal event;
+// see the railserve twin for the contract.
+func (ro *reqObs) finish(err error, cancelled bool) {
+	d := time.Since(ro.start)
+	ro.durations.With(ro.exp).Observe(d.Seconds())
+	ro.inflightG.Dec()
+	typ := "result"
+	if cancelled {
+		typ = "cancel"
+	}
+	ev := telemetry.Event{Type: typ, Req: ro.id, Exp: ro.exp, Key: ro.key, Cells: ro.cells, DurationNS: d.Nanoseconds()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	ro.tel.Events.Emit(ev)
 }
 
 // Addr returns the listen address for clients to dial.
@@ -208,12 +288,22 @@ func (f *Coordinator) Drain() { f.execWG.Wait() }
 const statsTimeout = 5 * time.Second
 
 // Stats reports the coordinator's serving telemetry: its request-level
-// counters, the per-backend health view, and the cache counters summed
-// across the backends it could reach. Backends are queried
-// concurrently under a bounded context; one that does not answer is
-// reported unhealthy rather than blocking the reply.
+// counters, the per-backend health view, and the cache counters
+// aggregated across the fleet. Live backends are queried concurrently
+// under a bounded context and their answers retained; a backend that
+// does not answer is reported unhealthy and contributes its
+// last-known-good counters instead of silently vanishing, so fleet
+// aggregates never go backwards when a backend dies. (A backend that
+// restarts legitimately resets its own counters; monotonicity is
+// guaranteed across unreachability, not across backend restarts.)
+//
+// After Close, Stats returns promptly without querying anything —
+// local counters plus the retained per-backend contributions, every
+// backend reported unhealthy — rather than racing the cancelled base
+// context.
 func (f *Coordinator) Stats() opusnet.CacheStatsPayload {
 	f.mu.Lock()
+	closed := f.closed
 	out := opusnet.CacheStatsPayload{
 		GridsExecuted: f.gridsExecuted,
 		GridsDeduped:  f.gridsDeduped,
@@ -221,43 +311,60 @@ func (f *Coordinator) Stats() opusnet.CacheStatsPayload {
 		ExpsDeduped:   f.expsDeduped,
 	}
 	f.mu.Unlock()
-	ctx, cancel := context.WithTimeout(f.baseCtx, statsTimeout)
-	defer cancel()
 	snaps := make([]opusnet.BackendStatsPayload, len(f.backends))
-	var agg sync.Mutex
-	var wg sync.WaitGroup
-	for i, b := range f.backends {
-		i, b := i, b
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			snap, c := b.snapshot()
-			if c != nil {
-				if bst, err := c.StatsCtx(ctx); err == nil {
-					agg.Lock()
-					out.Hits += bst.Hits
-					out.Misses += bst.Misses
-					out.Evictions += bst.Evictions
-					out.InFlight += bst.InFlight
-					out.CellsExecuted += bst.CellsExecuted
-					out.CellsDeduped += bst.CellsDeduped
-					out.BuildHits += bst.BuildHits
-					out.BuildMisses += bst.BuildMisses
-					out.ProvisionHits += bst.ProvisionHits
-					out.ProvisionMisses += bst.ProvisionMisses
-					out.TimeHits += bst.TimeHits
-					out.TimeMisses += bst.TimeMisses
-					out.SeedHits += bst.SeedHits
-					out.SeedMisses += bst.SeedMisses
-					agg.Unlock()
-				} else {
-					snap.Healthy = false
-				}
-			}
+	if closed {
+		for i, b := range f.backends {
+			snap, _ := b.snapshot()
+			snap.Healthy = false
 			snaps[i] = snap
-		}()
+		}
+	} else {
+		ctx, cancel := context.WithTimeout(f.baseCtx, statsTimeout)
+		defer cancel()
+		var wg sync.WaitGroup
+		for i, b := range f.backends {
+			i, b := i, b
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				snap, c := b.snapshot()
+				if c != nil {
+					if bst, err := c.StatsCtx(ctx); err == nil {
+						b.retainStats(bst)
+					} else {
+						b.setUnhealthy()
+						snap.Healthy = false
+					}
+				}
+				snaps[i] = snap
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	// Aggregate over the retained snapshots of ALL backends — reachable
+	// or not — so no contribution is ever dropped from the sums.
+	for i, b := range f.backends {
+		bst := b.retainedStats()
+		if !snaps[i].Healthy {
+			// Counters are retained across unreachability; the in-flight
+			// gauge is not — a dead backend runs nothing.
+			bst.InFlight = 0
+		}
+		out.Hits += bst.Hits
+		out.Misses += bst.Misses
+		out.Evictions += bst.Evictions
+		out.InFlight += bst.InFlight
+		out.CellsExecuted += bst.CellsExecuted
+		out.CellsDeduped += bst.CellsDeduped
+		out.BuildHits += bst.BuildHits
+		out.BuildMisses += bst.BuildMisses
+		out.ProvisionHits += bst.ProvisionHits
+		out.ProvisionMisses += bst.ProvisionMisses
+		out.TimeHits += bst.TimeHits
+		out.TimeMisses += bst.TimeMisses
+		out.SeedHits += bst.SeedHits
+		out.SeedMisses += bst.SeedMisses
+	}
 	out.Backends = snaps
 	return out
 }
@@ -427,6 +534,7 @@ func (f *Coordinator) serveGrid(msg *opusnet.Message, reply func(*opusnet.Messag
 		return
 	}
 	key := exp.Key("fleet", grid)
+	ro := f.beginReq("grid", key, grid.CellCount())
 	run, started := f.joinRun(key, *msg.Spec, grid)
 	f.mu.Lock()
 	if started {
@@ -435,6 +543,7 @@ func (f *Coordinator) serveGrid(msg *opusnet.Message, reply func(*opusnet.Messag
 		f.gridsDeduped++
 	}
 	f.mu.Unlock()
+	ro.admitted(!started)
 	if f.logf != nil {
 		if started {
 			f.logf("railfleet: grid %q: fanning out (%d cells)", grid.Name, grid.CellCount())
@@ -450,6 +559,7 @@ func (f *Coordinator) serveGrid(msg *opusnet.Message, reply func(*opusnet.Messag
 	go func() {
 		defer f.execWG.Done()
 		<-run.done
+		ro.finish(run.err, false)
 		if run.err != nil {
 			fail(run.err)
 			return
@@ -512,6 +622,7 @@ func (f *Coordinator) serveExp(msg *opusnet.Message, reply func(*opusnet.Message
 		return
 	}
 	key := exp.Key("fleet", grid)
+	ro := f.beginReq(req.Name, key, grid.CellCount())
 	run, started := f.joinRun(key, spec, grid)
 	f.mu.Lock()
 	if started {
@@ -520,6 +631,7 @@ func (f *Coordinator) serveExp(msg *opusnet.Message, reply func(*opusnet.Message
 		f.expsDeduped++
 	}
 	f.mu.Unlock()
+	ro.admitted(!started)
 	if f.logf != nil {
 		if started {
 			f.logf("railfleet: experiment %q: fanning out grid %q", req.Name, grid.Name)
@@ -539,18 +651,22 @@ func (f *Coordinator) serveExp(msg *opusnet.Message, reply func(*opusnet.Message
 		select {
 		case <-run.done:
 			if run.err != nil {
+				ro.finish(run.err, false)
 				fail(run.err)
 				return
 			}
 			payload, err := renderGridPayload(req.Name, run.gridName, run.rows)
 			if err != nil {
+				ro.finish(err, false)
 				fail(err)
 				return
 			}
 			payload.Shared = !started
+			ro.finish(nil, false)
 			reply(&opusnet.Message{Type: opusnet.MsgExpResult, Seq: seq, ExpResult: payload}, true)
 		case <-wctx.Done():
 			f.depart(key, run)
+			ro.finish(wctx.Err(), true)
 			fail(fmt.Errorf("railfleet: experiment %q: %w", req.Name, wctx.Err()))
 		}
 	}()
@@ -604,9 +720,11 @@ func (f *Coordinator) proxyExp(msg *opusnet.Message, reply func(*opusnet.Message
 		wcancel()
 		return
 	}
+	ro := f.beginReq(req.Name, "", 0)
 	f.mu.Lock()
 	f.expsExecuted++
 	f.mu.Unlock()
+	ro.admitted(false)
 	f.execWG.Add(1)
 	go func() {
 		defer f.execWG.Done()
@@ -627,6 +745,7 @@ func (f *Coordinator) proxyExp(msg *opusnet.Message, reply func(*opusnet.Message
 			})
 			if err != nil {
 				if wctx.Err() != nil {
+					ro.finish(wctx.Err(), true)
 					fail(fmt.Errorf("railfleet: experiment %q: %w", req.Name, wctx.Err()))
 					return
 				}
@@ -635,12 +754,17 @@ func (f *Coordinator) proxyExp(msg *opusnet.Message, reply func(*opusnet.Message
 						f.logf("railfleet: backend %s died serving experiment %q: %v (failing over)", b.addr, req.Name, err)
 					}
 					b.fail(c)
+					f.failoversC.Inc()
+					f.tel.Events.Emit(telemetry.Event{Type: "failover", Req: ro.id, Exp: req.Name,
+						Backend: b.addr, Err: err.Error()})
 					lastErr = err
 					continue
 				}
+				ro.finish(err, false)
 				fail(err)
 				return
 			}
+			ro.finish(nil, false)
 			reply(&opusnet.Message{Type: opusnet.MsgExpResult, Seq: seq, ExpResult: &opusnet.ExpResultPayload{
 				Name: run.Name, Grid: run.Grid,
 				Rendered: run.Rendered, RenderedCSV: run.RenderedCSV, RowsJSON: run.RowsJSON,
@@ -648,7 +772,9 @@ func (f *Coordinator) proxyExp(msg *opusnet.Message, reply func(*opusnet.Message
 			}}, true)
 			return
 		}
-		fail(fmt.Errorf("railfleet: no live backend served experiment %q (last error: %v)", req.Name, lastErr))
+		err := fmt.Errorf("railfleet: no live backend served experiment %q (last error: %v)", req.Name, lastErr)
+		ro.finish(err, false)
+		fail(err)
 	}()
 }
 

@@ -8,8 +8,8 @@ import (
 	"testing"
 	"time"
 
-	"photonrail/internal/opusnet"
 	"photonrail/internal/scenario"
+	"photonrail/internal/telemetry"
 )
 
 // TestCellsSubsetMatchesGrid: the subset path returns exactly the full
@@ -86,9 +86,16 @@ func TestCellsSingleflightDedup(t *testing.T) {
 			results <- outcome{run, err}
 		}()
 	}
-	cs := dialTest(t, s)
-	waitStats(t, cs, func(st opusnet.CacheStatsPayload) bool {
-		return st.CellsExecuted == 2 && st.CellsDeduped == 1
+	// One execution submitted, one join deduped onto it.
+	var submitted, deduped bool
+	waitServerEvent(t, s, func(ev telemetry.Event) bool {
+		switch {
+		case ev.Type == "submitted" && ev.Exp == "cells":
+			submitted = true
+		case ev.Type == "deduped" && ev.Exp == "cells":
+			deduped = true
+		}
+		return submitted && deduped
 	})
 	close(gate)
 	var runs []*CellsRun
@@ -153,8 +160,9 @@ func TestCellsCancelAndDeadline(t *testing.T) {
 		_, err := c.RunCellsCtx(ctx, spec, []int{0}, 0, nil)
 		done <- err
 	}()
-	cs := dialTest(t, s)
-	waitStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.CellsExecuted == 1 })
+	waitServerEvent(t, s, func(ev telemetry.Event) bool {
+		return ev.Type == "submitted" && ev.Exp == "cells"
+	})
 	cancel()
 	select {
 	case err := <-done:

@@ -5,10 +5,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
 
 	"photonrail"
 	"photonrail/internal/scenario"
+	"photonrail/internal/telemetry"
 )
 
 func newTestServer(t *testing.T, workers int, maxCost int64) *Server {
@@ -101,23 +101,18 @@ func TestLoopbackTwoConcurrentClientsDedup(t *testing.T) {
 	submit(c1)
 	submit(c2)
 
-	// Stats requests pipeline on a third connection while both grid
-	// requests are parked at the gate; the join shows up as a dedup.
-	cs := dialTest(t, s)
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		st, err := cs.Stats()
-		if err != nil {
-			t.Fatal(err)
+	// Both grid requests are parked at the gate; the join shows up as a
+	// dedup event on the server's lifecycle stream.
+	var submitted, deduped bool
+	waitServerEvent(t, s, func(ev telemetry.Event) bool {
+		switch {
+		case ev.Type == "submitted" && ev.Exp == "grid":
+			submitted = true
+		case ev.Type == "deduped" && ev.Exp == "grid":
+			deduped = true
 		}
-		if st.GridsExecuted == 1 && st.GridsDeduped == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("requests never coalesced: %+v", st)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return submitted && deduped
+	})
 	close(gate) // release the execution with both subscribers attached
 
 	var runs []*GridRun

@@ -12,6 +12,7 @@ import (
 	"photonrail"
 	"photonrail/internal/opusnet"
 	"photonrail/internal/scenario"
+	"photonrail/internal/telemetry"
 )
 
 // localRendering runs a registry experiment in-process and returns the
@@ -138,13 +139,16 @@ func TestExpCancelStopsOnlyRequester(t *testing.T) {
 		res1 <- outcome{run, err}
 	}()
 	// Wait until the first request is registered, then join the second.
-	cs := dialTest(t, s)
-	waitStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.ExpsExecuted == 1 })
+	waitServerEvent(t, s, func(ev telemetry.Event) bool {
+		return ev.Type == "submitted" && ev.Exp == "fig8"
+	})
 	go func() {
 		run, err := c2.RunExperiment(context.Background(), req, nil)
 		res2 <- outcome{run, err}
 	}()
-	waitStats(t, cs, func(st opusnet.CacheStatsPayload) bool { return st.ExpsDeduped == 1 })
+	waitServerEvent(t, s, func(ev telemetry.Event) bool {
+		return ev.Type == "deduped" && ev.Exp == "fig8"
+	})
 
 	cancel1()
 	select {
@@ -169,7 +173,7 @@ func TestExpCancelStopsOnlyRequester(t *testing.T) {
 	case <-time.After(60 * time.Second):
 		t.Fatal("surviving client never got its result")
 	}
-	st, err := cs.Stats()
+	st, err := c2.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,21 +277,18 @@ func TestExpProgressStreams(t *testing.T) {
 	}
 }
 
-func waitStats(t *testing.T, c *Client, cond func(opusnet.CacheStatsPayload) bool) {
+// waitServerEvent blocks until pred matches over the server's telemetry
+// event stream (retained ring replayed first, then live events) — the
+// deterministic replacement for the old waitStats sleep-poll. Lifecycle
+// events are emitted strictly after the corresponding stats counters
+// become visible, so a matched event implies the counter state the old
+// polls waited for.
+func waitServerEvent(t *testing.T, s *Server, pred func(telemetry.Event) bool) {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		st, err := c.Stats()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if cond(st) {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("stats condition never met: %+v", st)
-		}
-		time.Sleep(2 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Telemetry().Events.WaitFor(ctx, pred); err != nil {
+		t.Fatalf("event wait: %v", err)
 	}
 }
 

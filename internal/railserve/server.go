@@ -45,12 +45,14 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"photonrail"
 	"photonrail/internal/exp"
 	"photonrail/internal/opusnet"
 	"photonrail/internal/scenario"
+	"photonrail/internal/telemetry"
 )
 
 // Config parameterizes NewServer.
@@ -70,11 +72,25 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// eventRingCapacity bounds the daemon's request-lifecycle event ring:
+// large enough that a deterministic test wait (or an /events tail
+// attaching mid-run) sees a complete window over any realistic burst,
+// small enough to cap memory; overflow drops oldest and is counted.
+const eventRingCapacity = 4096
+
 // Server is the experiment-serving daemon.
 type Server struct {
 	ln     net.Listener
 	engine *photonrail.Engine
 	logf   func(format string, args ...any)
+
+	// tel is the daemon's observability surface: sampled stats_resp
+	// metrics, live request gauges/histograms, and the lifecycle event
+	// ring. Always on; cmd/raild exposes it over HTTP when asked.
+	tel       *telemetry.Set
+	reqSeq    atomic.Uint64 // request-id allocator ("r1", "r2", ...)
+	inflightG *telemetry.Gauge
+	durations *telemetry.HistogramVec
 
 	// baseCtx parents every execution and request wait; Close cancels
 	// it, so shutdown stops in-flight executions from scheduling more
@@ -185,15 +201,97 @@ func NewServer(cfg Config) (*Server, error) {
 		ln:         ln,
 		engine:     photonrail.NewBoundedEngine(cfg.Workers, cfg.MaxCacheCost),
 		logf:       cfg.Logf,
+		tel:        telemetry.NewSet(eventRingCapacity, func() int64 { return time.Now().UnixNano() }),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		inflight:   make(map[string]*gridRun),
 		runs:       make(map[string]*waitRun),
 		conns:      make(map[net.Conn]bool),
 	}
+	s.inflightG = s.tel.Metrics.Gauge("raild_requests_inflight",
+		"Requests admitted (validated and joined or started an execution) and awaiting their final reply.")
+	s.durations = s.tel.Metrics.HistogramVec("raild_request_duration_seconds",
+		"Admitted-request wall time from arrival to final reply, by experiment (grid_req and cells_req label as \"grid\" and \"cells\").",
+		telemetry.DefLatencyBuckets, "experiment")
+	stageDur := s.tel.Metrics.HistogramVec("raild_stage_duration_seconds",
+		"Wall time of simulations actually computed (cache misses), by pipeline stage.",
+		telemetry.DefLatencyBuckets, "stage")
+	s.engine.SetStageObserver(func(stage string, seconds float64) {
+		if stage == "" {
+			stage = "other"
+		}
+		stageDur.With(stage).Observe(seconds)
+	})
+	// The sampled stats_resp mirror: a /metrics scrape reports exactly
+	// what a stats frame would, from the same Stats call.
+	opusnet.RegisterStatsMetrics(s.tel.Metrics, "raild", s.Stats)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// Telemetry exposes the daemon's metrics registry and event log;
+// cmd/raild serves Telemetry().Handler() on -metrics-addr, and tests
+// wait deterministically on Telemetry().Events.
+func (s *Server) Telemetry() *telemetry.Set { return s.tel }
+
+// reqObs carries one admitted request's observability through its
+// lifecycle: an id, the in-flight gauge, the per-experiment latency
+// histogram, and the lifecycle events. Exactly one finish call balances
+// each begin.
+type reqObs struct {
+	tel       *telemetry.Set
+	inflightG *telemetry.Gauge
+	durations *telemetry.HistogramVec
+	id        string
+	exp       string
+	key       string
+	cells     int
+	start     time.Time
+}
+
+// beginReq admits one request into the observability layer. expName is
+// the histogram label ("grid"/"cells" for the raw paths); cells is the
+// request's cell count when it has one.
+func (s *Server) beginReq(expName, key string, cells int) *reqObs {
+	s.inflightG.Inc()
+	return &reqObs{
+		tel: s.tel, inflightG: s.inflightG, durations: s.durations,
+		id:  fmt.Sprintf("r%d", s.reqSeq.Add(1)),
+		exp: expName, key: key, cells: cells, start: time.Now(),
+	}
+}
+
+// admitted emits the request's submitted/deduped lifecycle event. Call
+// it with no server lock held, after the join decision is visible in
+// the counters — observing the event therefore guarantees a subsequent
+// identical request coalesces.
+func (ro *reqObs) admitted(shared bool) {
+	typ := "submitted"
+	if shared {
+		typ = "deduped"
+	}
+	ro.tel.Events.Emit(telemetry.Event{Type: typ, Req: ro.id, Exp: ro.exp, Key: ro.key, Cells: ro.cells})
+}
+
+// finish observes the request's wall time into the latency histogram
+// (every admitted request lands exactly one sample, result or error —
+// railbench counts on that) and emits the terminal lifecycle event:
+// "result", or "cancel" when the wait ended by deadline, cancel frame,
+// or teardown.
+func (ro *reqObs) finish(err error, cancelled bool) {
+	d := time.Since(ro.start)
+	ro.durations.With(ro.exp).Observe(d.Seconds())
+	ro.inflightG.Dec()
+	typ := "result"
+	if cancelled {
+		typ = "cancel"
+	}
+	ev := telemetry.Event{Type: typ, Req: ro.id, Exp: ro.exp, Key: ro.key, Cells: ro.cells, DurationNS: d.Nanoseconds()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	ro.tel.Events.Emit(ev)
 }
 
 // Addr returns the listen address for clients to dial.
@@ -345,6 +443,7 @@ func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bo
 	}
 	cells := grid.CellCount()
 	key := exp.Key("grid", grid)
+	ro := s.beginReq("grid", key, cells)
 
 	s.mu.Lock()
 	gate := s.execGate
@@ -357,6 +456,7 @@ func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bo
 		s.gridsExecuted++
 	}
 	s.mu.Unlock()
+	ro.admitted(shared)
 
 	run.subscribe(func(done, total int) {
 		reply(&opusnet.Message{Type: opusnet.MsgGridProgress, Seq: seq,
@@ -392,6 +492,7 @@ func (s *Server) serveGrid(msg *opusnet.Message, reply func(*opusnet.Message, bo
 	go func() {
 		defer s.execWG.Done()
 		<-run.done
+		ro.finish(run.err, false)
 		if run.err != nil {
 			fail(run.err)
 			return
@@ -473,6 +574,7 @@ func (s *Server) departRun(key string, run *waitRun) {
 // wedges the server. resultMsg shapes the final frame from the run's
 // payload.
 func (s *Server) serveRun(
+	ro *reqObs,
 	key string, seq uint64, timeoutMS int64,
 	progressType opusnet.MsgType,
 	reply func(*opusnet.Message, bool), cs *opusnet.ConnState,
@@ -496,6 +598,7 @@ func (s *Server) serveRun(
 	}
 	if !cs.Register(seq, wcancel) {
 		wcancel() // connection already torn down
+		ro.finish(fmt.Errorf("railserve: connection closed before admission"), true)
 		return
 	}
 
@@ -533,6 +636,7 @@ func (s *Server) serveRun(
 	if logDecision != nil {
 		logDecision(shared)
 	}
+	ro.admitted(shared)
 
 	run.subscribe(func(done, total int) {
 		reply(&opusnet.Message{Type: progressType, Seq: seq,
@@ -545,6 +649,7 @@ func (s *Server) serveRun(
 		defer wcancel()
 		select {
 		case <-run.done:
+			ro.finish(run.err, false)
 			if run.err != nil {
 				fail(run.err)
 				return
@@ -555,6 +660,7 @@ func (s *Server) serveRun(
 			// running for its other subscribers (and is cancelled only
 			// if this was the last one).
 			s.departRun(key, run)
+			ro.finish(wctx.Err(), true)
 			fail(waitErr(wctx.Err()))
 		}
 	}()
@@ -630,7 +736,7 @@ func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, boo
 	}
 	key := exp.Key("exp", req.Name, p.Iterations, p.WindowIterations, p.LatenciesMS, p.Rail, p.GPUs, specKey)
 
-	s.serveRun(key, seq, req.TimeoutMS, opusnet.MsgExpProgress, reply, cs,
+	s.serveRun(s.beginReq(req.Name, key, 0), key, seq, req.TimeoutMS, opusnet.MsgExpProgress, reply, cs,
 		func(shared bool) {
 			if shared {
 				s.expsDeduped++
@@ -708,7 +814,7 @@ func (s *Server) serveCells(msg *opusnet.Message, reply func(*opusnet.Message, b
 	indices := append([]int(nil), req.Indices...)
 	key := exp.Key("cells", grid, indices)
 
-	s.serveRun(key, seq, req.TimeoutMS, opusnet.MsgGridProgress, reply, cs,
+	s.serveRun(s.beginReq("cells", key, len(indices)), key, seq, req.TimeoutMS, opusnet.MsgGridProgress, reply, cs,
 		func(shared bool) {
 			if shared {
 				s.cellsDeduped++

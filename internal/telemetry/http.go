@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Set bundles the two halves of a process's observability surface: a
+// metrics registry and an event log. Servers embed one Set and expose
+// it over HTTP with Handler.
+type Set struct {
+	Metrics *Registry
+	Events  *EventLog
+}
+
+// NewSet builds a registry plus an event ring of the given capacity,
+// stamping events with now (nanoseconds since epoch).
+func NewSet(eventCapacity int, now func() int64) *Set {
+	return &Set{
+		Metrics: NewRegistry(),
+		Events:  NewEventLog(eventCapacity, now),
+	}
+}
+
+// Handler serves the observability endpoints:
+//
+//	GET /metrics  — Prometheus text exposition of the registry
+//	GET /events   — SSE tail of the event ring: retained events are
+//	                replayed first, then live events stream until the
+//	                client disconnects; each frame is one JSON event
+//
+// The handler holds no locks across writes and a slow /events client
+// only ever loses its own events (subscriber-buffer drop), never
+// stalls emitters.
+func (s *Set) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.Metrics.Render(w); err != nil {
+			// Client went away mid-scrape; nothing to clean up.
+			return
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		sub := s.Events.SubscribeReplay(256)
+		defer sub.Close()
+		for _, ev := range sub.Replay() {
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+		}
+		flusher.Flush()
+		for {
+			select {
+			case ev := <-sub.C():
+				if err := writeSSE(w, ev); err != nil {
+					return
+				}
+				flusher.Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	return mux
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+	return err
+}

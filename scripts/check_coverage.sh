@@ -17,6 +17,7 @@ out="${1:-coverage.txt}"
 floors="
 photonrail 85
 photonrail/cmd/opusim 25
+photonrail/cmd/railbench 78
 photonrail/cmd/railclient 70
 photonrail/cmd/railcost 70
 photonrail/cmd/raild 55
@@ -52,6 +53,7 @@ photonrail/internal/railserve 80
 photonrail/internal/report 95
 photonrail/internal/scenario 93
 photonrail/internal/sim 88
+photonrail/internal/telemetry 85
 photonrail/internal/topo 90
 photonrail/internal/trace 86
 photonrail/internal/units 93
