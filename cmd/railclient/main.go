@@ -98,11 +98,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			st.GridsExecuted, st.GridsDeduped, st.ExpsExecuted, st.ExpsDeduped); err != nil {
 			return err
 		}
-		_, err = fmt.Fprintf(w, "stages: build %d/%d, provision %d/%d (seeds %d/%d), time %d/%d (hits/misses)\n",
+		if _, err = fmt.Fprintf(w, "stages: build %d/%d, provision %d/%d (seeds %d/%d), time %d/%d (hits/misses)\n",
 			st.BuildHits, st.BuildMisses,
 			st.ProvisionHits, st.ProvisionMisses, st.SeedHits, st.SeedMisses,
-			st.TimeHits, st.TimeMisses)
-		return err
+			st.TimeHits, st.TimeMisses); err != nil {
+			return err
+		}
+		// A fleet coordinator's stats carry the per-backend membership
+		// view; a plain daemon's carry no backends and print nothing
+		// extra.
+		if len(st.Backends) > 0 {
+			if _, err = fmt.Fprintf(w, "fleet: %d members\n", len(st.Backends)); err != nil {
+				return err
+			}
+			for _, b := range st.Backends {
+				if err = printMember(w, b); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
 
 	if *statsOnly {
@@ -152,6 +167,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printMember renders one fleet member's membership line: identity,
+// kind, state, capacity, execution counters, and — for heartbeat-kept
+// dynamic members — the age of the newest heartbeat.
+func printMember(w io.Writer, b opusnet.BackendStatsPayload) error {
+	id := b.ID
+	if id == "" {
+		id = b.Addr
+	}
+	kind := "dynamic"
+	if b.Static {
+		kind = "static"
+	}
+	state := b.State
+	if state == "" {
+		if b.Healthy {
+			state = "healthy"
+		} else {
+			state = "unknown"
+		}
+	}
+	line := fmt.Sprintf("  %s (%s): %s %s, capacity %d, cells %d, failures %d",
+		id, b.Addr, kind, state, b.Capacity, b.Cells, b.Failures)
+	if !b.Static {
+		line += fmt.Sprintf(", heartbeat %s ago", (time.Duration(b.LastHeartbeatAgeMS) * time.Millisecond).Round(time.Millisecond))
+	}
+	_, err := fmt.Fprintln(w, line)
+	return err
 }
 
 // runExperiment serves -exp: any registry experiment over the exp_req

@@ -8,8 +8,11 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
+
+	"photonrail/internal/railfleet"
 )
 
 // syncBuffer is a bytes.Buffer safe to read while run() writes to it
@@ -64,6 +67,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-cache", "-1"},
 		{"-addr", "not:an:addr:at:all"},
 		{"positional"},
+		{"-id", "x"},        // -id without -coordinator
+		{"-advertise", "y"}, // -advertise without -coordinator
+		{"-coordinator", "127.0.0.1:1", "-heartbeat", "-1s"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -124,5 +130,76 @@ func TestRunServesMetrics(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("scrape missing %s:\n%s", want, body)
 		}
+	}
+}
+
+// TestRunJoinsFleetAndDrainsOnSignal: -coordinator makes the daemon a
+// fleet member — it registers with a live railfleet coordinator and
+// heartbeats — and SIGTERM drains it gracefully: the departure is
+// announced (a drain event, not a failover) before shutdown.
+func TestRunJoinsFleetAndDrainsOnSignal(t *testing.T) {
+	f, err := railfleet.New(railfleet.Config{Addr: "127.0.0.1:0", AllowRegistration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close(); f.Drain() })
+
+	stop := make(chan os.Signal, 2)
+	var out, errb syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-coordinator", f.Addr(),
+			"-id", "cli-node", "-heartbeat", "20ms", "-drain-timeout", "30s"}, &out, &errb, stop)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "joining fleet at") {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced the fleet join; out: %s stderr: %s", out.String(), errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The coordinator's membership view picks the daemon up.
+	for {
+		healthy := false
+		for _, b := range f.Stats().Backends {
+			if b.ID == "cli-node" && b.Healthy {
+				healthy = true
+			}
+		}
+		if healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never saw cli-node healthy; out: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never shut down after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "draining (finishing in-flight work") {
+		t.Errorf("no drain announcement in output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no shutdown line in output: %q", out.String())
+	}
+	var sawDrain bool
+	for _, ev := range f.Telemetry().Events.Snapshot() {
+		if ev.Type == "failover" {
+			t.Errorf("graceful drain tripped a failover: %+v", ev)
+		}
+		if ev.Type == "drain" && ev.Member == "cli-node" {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Error("coordinator never recorded the drain event")
 	}
 }

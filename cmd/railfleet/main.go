@@ -12,9 +12,15 @@
 //	railfleet -addr :7071 -backends host:9090 -inflight 32
 //	railfleet -backends ... -verbose                     # log requests and failovers
 //	railfleet -backends ... -metrics-addr :9191          # serve /metrics and /events over HTTP
+//	railfleet -register                                  # elastic fleet: backends join themselves
+//	railfleet -register -backends host:9090              # mixed: statics plus self-registered
 //
 // Backends are dialed lazily and re-probed after failures, so the
-// fleet may come up (and restart) in any order.
+// fleet may come up (and restart) in any order. With -register the
+// fleet is elastic: raild daemons started with -coordinator register
+// themselves (weighting the cell shard by their advertised capacity),
+// keep alive via heartbeats bounded by -heartbeat-ttl, and drain
+// gracefully on SIGTERM — joining and leaving even mid-request.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"strings"
 	"syscall"
 
+	"photonrail/internal/railctl"
 	"photonrail/internal/railfleet"
 )
 
@@ -49,11 +56,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:9091", "TCP listen address")
-		backends = fs.String("backends", "", "comma-separated raild backend addresses (required)")
+		backends = fs.String("backends", "", "comma-separated static raild backend addresses")
+		register = fs.Bool("register", false, "accept self-registering backends (raild -coordinator)")
+		hbTTL    = fs.Duration("heartbeat-ttl", railctl.DefaultHeartbeatTTL, "mark a registered backend dead when its newest heartbeat is older than this")
 		inflight = fs.Int("inflight", railfleet.DefaultInFlight, "max cells in flight per backend per request")
 		batchTO  = fs.Duration("batch-timeout", railfleet.DefaultBatchTimeout, "per-batch wedge bound before a backend's cells re-shard (<0 = unbounded)")
 		metrics  = fs.String("metrics-addr", "", "HTTP address for /metrics and /events (empty = disabled)")
-		verbose  = fs.Bool("verbose", false, "log served requests and failover events to stderr")
+		verbose  = fs.Bool("verbose", false, "log served requests, failovers, and membership events to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,17 +79,22 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 			addrs = append(addrs, a)
 		}
 	}
-	if len(addrs) == 0 {
-		return fmt.Errorf("no backends: pass -backends host:port[,host:port...]")
+	if len(addrs) == 0 && !*register {
+		return fmt.Errorf("no backends: pass -backends host:port[,host:port...] or enable -register")
 	}
 	if *inflight <= 0 {
 		return fmt.Errorf("-inflight must be > 0, got %d", *inflight)
 	}
+	if *hbTTL <= 0 {
+		return fmt.Errorf("-heartbeat-ttl must be > 0, got %v", *hbTTL)
+	}
 	cfg := railfleet.Config{
-		Addr:         *addr,
-		Backends:     addrs,
-		InFlight:     *inflight,
-		BatchTimeout: *batchTO,
+		Addr:              *addr,
+		Backends:          addrs,
+		AllowRegistration: *register,
+		HeartbeatTTL:      *hbTTL,
+		InFlight:          *inflight,
+		BatchTimeout:      *batchTO,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -102,7 +116,15 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		defer func() { _ = hs.Close() }()
 		fmt.Fprintf(stdout, "railfleet: metrics on http://%s/metrics\n", ln.Addr())
 	}
-	fmt.Fprintf(stdout, "railfleet: listening on %s, %d backends: %s\n", f.Addr(), len(addrs), strings.Join(addrs, ", "))
+	switch {
+	case *register && len(addrs) > 0:
+		fmt.Fprintf(stdout, "railfleet: listening on %s, %d backends (%s) + registration open\n",
+			f.Addr(), len(addrs), strings.Join(addrs, ", "))
+	case *register:
+		fmt.Fprintf(stdout, "railfleet: listening on %s, registration open (no static backends)\n", f.Addr())
+	default:
+		fmt.Fprintf(stdout, "railfleet: listening on %s, %d backends: %s\n", f.Addr(), len(addrs), strings.Join(addrs, ", "))
+	}
 	<-stop
 	fmt.Fprintf(stdout, "railfleet: shutting down\n")
 	return f.Close()

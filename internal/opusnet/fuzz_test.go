@@ -82,6 +82,12 @@ func FuzzMessageRoundTrip(f *testing.F) {
 				{Addr: "127.0.0.1:9090", Healthy: true, Cells: 12},
 				{Addr: "127.0.0.1:9091", Healthy: false, Cells: 5, Failures: 1},
 			}}},
+		{Type: MsgFleetRegister, Seq: 17, FleetReg: &FleetRegisterPayload{
+			ID: "node-a", Addr: "10.0.0.7:9090", Capacity: 16}},
+		{Type: MsgHeartbeat, Seq: 18, Heartbeat: &HeartbeatPayload{
+			ID: "node-a", Capacity: 16,
+			Stats: &CacheStatsPayload{Hits: 9, Misses: 4, InFlight: 1, CellsExecuted: 6}}},
+		{Type: MsgDrain, Seq: 19, DrainReq: &DrainPayload{ID: "node-a", Reason: "sigterm"}},
 	}
 	for _, m := range seeds {
 		f.Add(seedFrame(f, m))
@@ -159,6 +165,16 @@ func TestGridMessagesRoundTrip(t *testing.T) {
 		{Type: MsgStatsResp, Seq: 25, Cache: &CacheStatsPayload{
 			CellsExecuted: 9, CellsDeduped: 1,
 			Backends: []BackendStatsPayload{{Addr: "b0", Healthy: true, Cells: 9, Failures: 2}}}},
+		{Type: MsgFleetRegister, Seq: 26, FleetReg: &FleetRegisterPayload{
+			ID: "node-b", Addr: "b1", Capacity: 4}},
+		{Type: MsgHeartbeat, Seq: 27, Heartbeat: &HeartbeatPayload{
+			ID: "node-b", Capacity: 4, Stats: &CacheStatsPayload{Misses: 3, CellsExecuted: 5}}},
+		{Type: MsgDrain, Seq: 28, DrainReq: &DrainPayload{ID: "node-b", Reason: "-drain"}},
+		{Type: MsgStatsResp, Seq: 29, Cache: &CacheStatsPayload{
+			Backends: []BackendStatsPayload{
+				{Addr: "b0", Healthy: true, Cells: 9, ID: "s0", Capacity: 1, State: "healthy", Static: true},
+				{Addr: "b1", Healthy: true, Cells: 5, ID: "node-b", Capacity: 4, State: "draining", LastHeartbeatAgeMS: 1200},
+			}}},
 	}
 	var buf bytes.Buffer
 	for _, m := range msgs {

@@ -91,6 +91,26 @@ const (
 	// the request's indices listed them. Progress for a running subset
 	// streams as MsgGridProgress frames (done/total over the subset).
 	MsgCellsResult MsgType = "cells_result"
+
+	// MsgFleetRegister announces a raild backend to a fleet
+	// coordinator: identity, the address the coordinator should dial
+	// for cells, and capacity (worker-pool size). Acknowledged with
+	// MsgAck; refused with MsgErr when the coordinator does not accept
+	// registrations. Re-registering the same identity upserts (a
+	// restarted daemon rejoins under its old identity).
+	MsgFleetRegister MsgType = "fleet_register"
+	// MsgHeartbeat refreshes a registered backend's liveness, carrying
+	// its current capacity and the same Stats() snapshot that serves
+	// stats_resp. A coordinator marks a backend dead when heartbeats
+	// stop. Acknowledged with MsgAck; a heartbeat for an identity the
+	// coordinator does not know is refused with MsgErr so the sender
+	// re-registers.
+	MsgHeartbeat MsgType = "heartbeat"
+	// MsgDrain announces a registered backend's graceful departure: the
+	// coordinator stops assigning it new work (in-flight batches finish
+	// or hand off to the next wave without counting as failover) and
+	// acknowledges with MsgAck once the mark is durable.
+	MsgDrain MsgType = "drain"
 )
 
 // Message is the single wire envelope.
@@ -128,6 +148,43 @@ type Message struct {
 	Cells *CellsRequestPayload `json:"cells,omitempty"`
 	// CellsResult carries an executed cell subset (MsgCellsResult).
 	CellsResult *CellsResultPayload `json:"cellsResult,omitempty"`
+	// FleetReg announces a backend to a coordinator (MsgFleetRegister).
+	FleetReg *FleetRegisterPayload `json:"fleetReg,omitempty"`
+	// Heartbeat refreshes a registered backend (MsgHeartbeat).
+	Heartbeat *HeartbeatPayload `json:"heartbeat,omitempty"`
+	// DrainReq announces a graceful departure (MsgDrain).
+	DrainReq *DrainPayload `json:"drain,omitempty"`
+}
+
+// FleetRegisterPayload is a backend's registration: who it is, where
+// the coordinator dials it, and how much it can run.
+type FleetRegisterPayload struct {
+	// ID is the backend's stable identity — stable across restarts and
+	// listener port choices, so its rendezvous shard survives both.
+	ID string `json:"id"`
+	// Addr is the address the coordinator dials for cells_req batches
+	// (the backend's serving listener, not the registration conn).
+	Addr string `json:"addr"`
+	// Capacity is the backend's worker-pool size; capacity-weighted
+	// sharding assigns cells proportionally to it (minimum 1).
+	Capacity int `json:"capacity"`
+}
+
+// HeartbeatPayload refreshes a registration. Capacity may change
+// between heartbeats (a resized pool re-weights the shard); Stats
+// piggybacks the backend's serving telemetry so the coordinator's
+// aggregated stats_resp needs no extra round trip to dynamic members.
+type HeartbeatPayload struct {
+	ID       string             `json:"id"`
+	Capacity int                `json:"capacity,omitempty"`
+	Stats    *CacheStatsPayload `json:"stats,omitempty"`
+}
+
+// DrainPayload announces a graceful departure of a registered backend.
+type DrainPayload struct {
+	ID string `json:"id"`
+	// Reason is a human-readable cause ("sigterm", "-drain", ...).
+	Reason string `json:"reason,omitempty"`
 }
 
 // CellsRequestPayload asks a daemon to execute the subset of a grid's
@@ -160,12 +217,30 @@ type CellsResultPayload struct {
 // BackendStatsPayload is one fleet backend's health as the coordinator
 // sees it: whether its last contact succeeded, how many cells it has
 // executed for the coordinator, and how many times it failed mid-request
-// (each failure re-shards its cells to the survivors).
+// (each failure re-shards its cells to the survivors). For coordinators
+// with an elastic control plane the membership fields carry the
+// registry view; older coordinators omit them.
 type BackendStatsPayload struct {
 	Addr     string `json:"addr"`
 	Healthy  bool   `json:"healthy"`
 	Cells    uint64 `json:"cells"`
 	Failures uint64 `json:"failures"`
+	// ID is the backend's stable identity: the registered identity for
+	// dynamic members, the positional "s<i>" for static -backends
+	// entries.
+	ID string `json:"id,omitempty"`
+	// Capacity is the weight capacity-weighted sharding uses (static
+	// backends weigh 1).
+	Capacity int `json:"capacity,omitempty"`
+	// State is the membership state: "healthy", "draining", "drained",
+	// or "dead".
+	State string `json:"state,omitempty"`
+	// Static marks a -backends flag entry (probed by dialing) as
+	// opposed to a self-registered member (liveness from heartbeats).
+	Static bool `json:"static,omitempty"`
+	// LastHeartbeatAgeMS is the age of the newest heartbeat for dynamic
+	// members; absent for static backends, which do not heartbeat.
+	LastHeartbeatAgeMS int64 `json:"lastHeartbeatAgeMS,omitempty"`
 }
 
 // ExpRequestPayload names a registered photonrail experiment and its

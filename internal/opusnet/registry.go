@@ -12,23 +12,26 @@ import "fmt"
 // in fuzz_test.go. raillint's protoconsistency analyzer fails the
 // build if any of the three is forgotten.
 var payloadRegistry = map[MsgType][]string{
-	MsgRegister:     nil,
-	MsgAcquire:      nil,
-	MsgRelease:      nil,
-	MsgProvision:    nil,
-	MsgStatsReq:     nil,
-	MsgAck:          nil,
-	MsgErr:          nil,
-	MsgStatsResp:    {"stats", "cache"},
-	MsgGridReq:      {"spec"},
-	MsgGridProgress: {"progress"},
-	MsgGridResult:   {"grid"},
-	MsgExpReq:       {"exp"},
-	MsgExpProgress:  {"progress"},
-	MsgExpResult:    {"expResult"},
-	MsgCancel:       nil,
-	MsgCellsReq:     {"cells"},
-	MsgCellsResult:  {"cellsResult"},
+	MsgRegister:      nil,
+	MsgAcquire:       nil,
+	MsgRelease:       nil,
+	MsgProvision:     nil,
+	MsgStatsReq:      nil,
+	MsgAck:           nil,
+	MsgErr:           nil,
+	MsgStatsResp:     {"stats", "cache"},
+	MsgGridReq:       {"spec"},
+	MsgGridProgress:  {"progress"},
+	MsgGridResult:    {"grid"},
+	MsgExpReq:        {"exp"},
+	MsgExpProgress:   {"progress"},
+	MsgExpResult:     {"expResult"},
+	MsgCancel:        nil,
+	MsgCellsReq:      {"cells"},
+	MsgCellsResult:   {"cellsResult"},
+	MsgFleetRegister: {"fleetReg"},
+	MsgHeartbeat:     {"heartbeat"},
+	MsgDrain:         {"drain"},
 }
 
 // presentPayloads lists the wire tags of the payload pointers set on
@@ -61,6 +64,15 @@ func presentPayloads(m *Message) []string {
 	}
 	if m.CellsResult != nil {
 		out = append(out, "cellsResult")
+	}
+	if m.FleetReg != nil {
+		out = append(out, "fleetReg")
+	}
+	if m.Heartbeat != nil {
+		out = append(out, "heartbeat")
+	}
+	if m.DrainReq != nil {
+		out = append(out, "drain")
 	}
 	return out
 }
@@ -102,6 +114,12 @@ func ValidatePayload(m *Message) error {
 		required = "cells"
 	case MsgCellsResult:
 		required = "cellsResult"
+	case MsgFleetRegister:
+		required = "fleetReg"
+	case MsgHeartbeat:
+		required = "heartbeat"
+	case MsgDrain:
+		required = "drain"
 	default:
 		return fmt.Errorf("opusnet: message type %q registered but not dispatched", m.Type)
 	}

@@ -29,6 +29,12 @@ func setPayload(t *testing.T, m *Message, tag string) {
 		m.Cells = &CellsRequestPayload{}
 	case "cellsResult":
 		m.CellsResult = &CellsResultPayload{}
+	case "fleetReg":
+		m.FleetReg = &FleetRegisterPayload{}
+	case "heartbeat":
+		m.Heartbeat = &HeartbeatPayload{}
+	case "drain":
+		m.DrainReq = &DrainPayload{}
 	default:
 		t.Fatalf("registry names unknown payload tag %q", tag)
 	}

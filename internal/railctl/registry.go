@@ -1,0 +1,307 @@
+// Package railctl is the fleet control plane: the membership registry
+// a coordinator embeds (self-registered backends, heartbeat liveness,
+// graceful drain) and the agent a raild daemon runs to participate.
+//
+// The shape follows the related control planes: like zos nodes, a
+// backend dials in and registers identity + capacity, then keeps
+// itself alive with heartbeats that piggyback its serving stats; like
+// doublezero's controller, the coordinator owns membership state and
+// the data plane (cell sharding) reads it. Liveness is heartbeat-edge
+// driven — a member whose heartbeats stop past the TTL is marked dead
+// without any per-request dial probing — and departure is graceful: a
+// drain marks the member unassignable without counting as a failure.
+package railctl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"photonrail/internal/opusnet"
+)
+
+// State is one member's membership state.
+type State string
+
+const (
+	// StateHealthy members receive cell assignments.
+	StateHealthy State = "healthy"
+	// StateDraining members finish in-flight batches but receive no new
+	// assignments; set by a drain frame, sticky until re-registration.
+	StateDraining State = "draining"
+	// StateDrained members completed a graceful departure (their
+	// heartbeats stopped while draining). Terminal until rejoin.
+	StateDrained State = "drained"
+	// StateDead members missed heartbeats without draining first.
+	StateDead State = "dead"
+)
+
+// DefaultHeartbeatTTL marks a member dead when its newest heartbeat is
+// older than this; three DefaultHeartbeatInterval periods, so one lost
+// frame does not flap membership.
+const DefaultHeartbeatTTL = 3 * DefaultHeartbeatInterval
+
+// DefaultHeartbeatInterval is the agent-side heartbeat cadence.
+const DefaultHeartbeatInterval = 2 * time.Second
+
+// Event is one membership lifecycle transition: "join" (registration,
+// including a rejoin after death), "drain" (graceful-departure mark),
+// "leave" (heartbeats stopped — Reason distinguishes a completed drain
+// from a death).
+type Event struct {
+	Type     string
+	ID       string
+	Addr     string
+	Capacity int
+	Reason   string
+}
+
+// Config parameterizes NewRegistry.
+type Config struct {
+	// TTL is the heartbeat staleness bound; 0 means DefaultHeartbeatTTL.
+	TTL time.Duration
+	// Now replaces the clock for tests; nil means time.Now.
+	Now func() time.Time
+	// OnEvent, when non-nil, receives lifecycle events. Called without
+	// the registry lock held and must not block.
+	OnEvent func(Event)
+}
+
+// member is the registry's record of one dynamic backend.
+type member struct {
+	id            string
+	addr          string
+	capacity      int
+	state         State
+	lastHeartbeat time.Time
+	stats         opusnet.CacheStatsPayload
+	hasStats      bool
+}
+
+// Member is one member's state snapshot as Members reports it.
+type Member struct {
+	ID            string
+	Addr          string
+	Capacity      int
+	State         State
+	LastHeartbeat time.Time
+	// Stats is the newest heartbeat-carried serving snapshot; HasStats
+	// distinguishes "reported zeros" from "never reported".
+	Stats    opusnet.CacheStatsPayload
+	HasStats bool
+}
+
+// ErrUnknownMember reports an operation on an identity the registry
+// has never seen (or forgot): the sender must re-register.
+var ErrUnknownMember = fmt.Errorf("railctl: unknown member")
+
+// Registry is the coordinator-side membership table. All methods are
+// safe for concurrent use; state transitions driven by the clock
+// (death, drain completion) are applied lazily on every read, so a
+// snapshot is always consistent with the injected Now.
+type Registry struct {
+	ttl     time.Duration
+	now     func() time.Time
+	onEvent func(Event)
+
+	mu      sync.Mutex
+	members map[string]*member
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultHeartbeatTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Registry{
+		ttl:     cfg.TTL,
+		now:     cfg.Now,
+		onEvent: cfg.OnEvent,
+		members: make(map[string]*member),
+	}
+}
+
+// emit delivers events collected under the lock; call unlocked.
+func (r *Registry) emit(events []Event) {
+	if r.onEvent == nil {
+		return
+	}
+	for _, ev := range events {
+		r.onEvent(ev)
+	}
+}
+
+// sweepLocked applies clock-driven transitions: a healthy or draining
+// member whose newest heartbeat is older than the TTL leaves — dead if
+// it was healthy, drained if it was already draining (its graceful
+// departure simply completed). Returns the leave events to emit.
+func (r *Registry) sweepLocked() []Event {
+	cutoff := r.now().Add(-r.ttl)
+	var stale []*member
+	for _, m := range r.members {
+		if m.lastHeartbeat.Before(cutoff) && (m.state == StateHealthy || m.state == StateDraining) {
+			stale = append(stale, m)
+		}
+	}
+	// One sweep can expire several members; sort so their leave events
+	// emit in a deterministic order.
+	sort.Slice(stale, func(i, j int) bool { return stale[i].id < stale[j].id })
+	var events []Event
+	for _, m := range stale {
+		switch m.state {
+		case StateHealthy:
+			m.state = StateDead
+			events = append(events, Event{Type: "leave", ID: m.id, Addr: m.addr, Capacity: m.capacity, Reason: "heartbeat timeout"})
+		case StateDraining:
+			m.state = StateDrained
+			events = append(events, Event{Type: "leave", ID: m.id, Addr: m.addr, Capacity: m.capacity, Reason: "drained"})
+		}
+	}
+	return events
+}
+
+// Register upserts a member as healthy. A known identity re-registers
+// in place — a restarted daemon rejoins under its old identity and
+// keeps its rendezvous shard, whatever address its new listener got.
+// Capacity below 1 clamps to 1.
+func (r *Registry) Register(id, addr string, capacity int) error {
+	if id == "" {
+		return fmt.Errorf("railctl: register without an id")
+	}
+	if addr == "" {
+		return fmt.Errorf("railctl: register %q without an address", id)
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.mu.Lock()
+	events := r.sweepLocked()
+	m, ok := r.members[id]
+	if !ok {
+		m = &member{id: id}
+		r.members[id] = m
+	}
+	m.addr = addr
+	m.capacity = capacity
+	m.state = StateHealthy
+	m.lastHeartbeat = r.now()
+	r.mu.Unlock()
+	events = append(events, Event{Type: "join", ID: id, Addr: addr, Capacity: capacity})
+	r.emit(events)
+	return nil
+}
+
+// Heartbeat refreshes a member's liveness, capacity, and stats. An
+// unknown identity errors (ErrUnknownMember) so the sender
+// re-registers — the registry never resurrects state it does not have.
+// A heartbeat revives a dead member (the agent outlived a too-tight
+// TTL), emitting a rejoin; a draining member stays draining — drain is
+// sticky until re-registration.
+func (r *Registry) Heartbeat(id string, capacity int, stats *opusnet.CacheStatsPayload) error {
+	r.mu.Lock()
+	events := r.sweepLocked()
+	m, ok := r.members[id]
+	if !ok {
+		r.mu.Unlock()
+		r.emit(events)
+		return fmt.Errorf("%w %q", ErrUnknownMember, id)
+	}
+	if capacity >= 1 {
+		m.capacity = capacity
+	}
+	m.lastHeartbeat = r.now()
+	if stats != nil {
+		m.stats = *stats
+		m.hasStats = true
+	}
+	switch m.state {
+	case StateDead:
+		m.state = StateHealthy
+		events = append(events, Event{Type: "join", ID: m.id, Addr: m.addr, Capacity: m.capacity, Reason: "heartbeat revival"})
+	case StateDrained:
+		m.state = StateDraining // still around, still departing
+	}
+	r.mu.Unlock()
+	r.emit(events)
+	return nil
+}
+
+// Drain marks a member draining: it keeps its in-flight work but
+// receives no new assignments, and its eventual silence counts as a
+// completed departure, not a death. Unknown identities error
+// (ErrUnknownMember) — already not a member, so callers may treat that
+// as success.
+func (r *Registry) Drain(id, reason string) error {
+	r.mu.Lock()
+	events := r.sweepLocked()
+	m, ok := r.members[id]
+	if !ok {
+		r.mu.Unlock()
+		r.emit(events)
+		return fmt.Errorf("%w %q", ErrUnknownMember, id)
+	}
+	if m.state == StateHealthy || m.state == StateDead {
+		m.state = StateDraining
+		m.lastHeartbeat = r.now() // a drain is proof of life
+		events = append(events, Event{Type: "drain", ID: m.id, Addr: m.addr, Capacity: m.capacity, Reason: reason})
+	}
+	r.mu.Unlock()
+	r.emit(events)
+	return nil
+}
+
+// Draining reports whether the member is departing (draining or
+// drained) — the coordinator's batch loop checks this between batches
+// to hand off a drainer's unsubmitted cells.
+func (r *Registry) Draining(id string) bool {
+	r.mu.Lock()
+	m, ok := r.members[id]
+	st := StateDead
+	if ok {
+		st = m.state
+	}
+	r.mu.Unlock()
+	return ok && (st == StateDraining || st == StateDrained)
+}
+
+// Members returns every known member, sorted by ID, after applying
+// clock-driven transitions.
+func (r *Registry) Members() []Member {
+	r.mu.Lock()
+	events := r.sweepLocked()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members { //lint:allow maporder sorted below
+		out = append(out, Member{
+			ID: m.id, Addr: m.addr, Capacity: m.capacity, State: m.state,
+			LastHeartbeat: m.lastHeartbeat, Stats: m.stats, HasStats: m.hasStats,
+		})
+	}
+	r.mu.Unlock()
+	r.emit(events)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Assignable returns the members eligible for new work — healthy with
+// a fresh heartbeat — sorted by ID.
+func (r *Registry) Assignable() []Member {
+	all := r.Members()
+	out := all[:0]
+	for _, m := range all {
+		if m.State == StateHealthy {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Len reports how many members the registry knows (any state).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}

@@ -584,8 +584,8 @@ func TestFleetProxiesNonGridExperiments(t *testing.T) {
 
 	fl := startFleet(t, 2, 8)
 	// Kill the rendezvous-preferred backend so the proxy must fail over.
-	preferred := fl.coord.proxyOrder("table3")[0]
-	fl.net.Endpoint(fmt.Sprintf("b%d", preferred)).Kill()
+	preferred := fl.coord.proxyOrder("table3")[0].address()
+	fl.net.Endpoint(preferred).Kill()
 	c := fl.dialCoord(t)
 	run, err := c.RunExperiment(context.Background(), opusnet.ExpRequestPayload{Name: "table3"}, nil)
 	if err != nil {

@@ -1,28 +1,38 @@
 package railfleet
 
 import (
-	"context"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"photonrail/internal/opusnet"
+	"photonrail/internal/railctl"
 	"photonrail/internal/railserve"
-	"photonrail/internal/scenario"
 	"photonrail/internal/telemetry"
 )
 
-// backend is one raild daemon the coordinator shards cells onto.
+// backend is one raild daemon the coordinator shards cells onto —
+// either a static -backends entry (liveness by dial probe) or a
+// self-registered dynamic member (liveness owned by the railctl
+// registry's heartbeat state; this struct only carries its connection
+// and per-backend counters).
 type backend struct {
-	index int
-	addr  string
-	dial  func(addr string) (net.Conn, error)
+	index  int    // fleet position for statics; -1 for dynamic members
+	id     string // stable identity: StaticID(index), or the registered id
+	static bool
+	dial   func(addr string) (net.Conn, error)
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// addr is the serving address; immutable for statics, updated for a
+	// dynamic member that re-registered from a new listener.
+	addr     string
 	client   *railserve.Client
 	closed   bool // coordinator shut down: no more dials
 	healthy  bool
+	joined   bool // static announced live at least once (join/leave events)
+	dead     bool // static known unreachable: skip per-request probes
 	cells    uint64
 	failures uint64
 	// lastStats retains the backend's most recent successful stats_resp
@@ -30,6 +40,32 @@ type backend struct {
 	// counters to fleet aggregates (Coordinator.Stats) instead of its
 	// contribution silently vanishing.
 	lastStats opusnet.CacheStatsPayload
+}
+
+// address returns the current serving address (dynamic members may
+// re-register from a new listener).
+func (b *backend) address() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.addr
+}
+
+// setAddr points a dynamic member at a new serving address, dropping
+// the stale connection.
+func (b *backend) setAddr(addr string) {
+	b.mu.Lock()
+	if b.addr == addr {
+		b.mu.Unlock()
+		return
+	}
+	b.addr = addr
+	c := b.client
+	b.client = nil
+	b.healthy = false
+	b.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
 }
 
 // retainStats records a successful stats query's payload.
@@ -55,12 +91,56 @@ func (b *backend) setUnhealthy() {
 	b.mu.Unlock()
 }
 
+// connected reports whether a live client exists and whether the
+// backend is marked dead, without dialing.
+func (b *backend) connected() (connected, dead bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.client != nil, b.dead
+}
+
+// isDead reports the static probe-skip flag.
+func (b *backend) isDead() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dead
+}
+
+// markDead flags a static backend unreachable so later requests skip
+// its dial probe (the reprobe loop owns its revival); it reports
+// whether a leave event is due — the backend had been announced live.
+func (b *backend) markDead() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.static || b.closed {
+		return false
+	}
+	due := b.joined && !b.dead
+	b.dead = true
+	b.healthy = false
+	return due
+}
+
+// revive clears the probe-skip flag after a successful dial; it
+// reports whether a join event is due — the first connect, or a
+// recovery from dead.
+func (b *backend) revive() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.static {
+		return false // the registry owns dynamic lifecycle events
+	}
+	due := !b.joined || b.dead
+	b.joined = true
+	b.dead = false
+	return due
+}
+
 // get returns the backend's client, dialing if none is connected. A
-// failed dial marks the backend unhealthy; the next request re-probes
-// it, so a restarted daemon rejoins the fleet without coordinator
-// intervention. After the coordinator closes, get refuses instead of
-// re-dialing — an abandoned execution's failover wave must not leak a
-// fresh connection (and its reader goroutine) past Close.
+// failed dial marks the backend unhealthy. After the coordinator
+// closes, get refuses instead of re-dialing — an abandoned execution's
+// failover wave must not leak a fresh connection (and its reader
+// goroutine) past Close.
 func (b *backend) get() (*railserve.Client, error) {
 	b.mu.Lock()
 	if b.closed {
@@ -87,6 +167,9 @@ func (b *backend) get() (*railserve.Client, error) {
 	}
 	if b.client != nil {
 		_ = conn.Close() // lost a dial race; use the winner
+	} else if b.addr != addr {
+		_ = conn.Close() // the member re-registered elsewhere mid-dial
+		return nil, fmt.Errorf("railfleet: backend %s moved to %s mid-dial", addr, b.addr)
 	} else {
 		b.client = railserve.NewClient(conn)
 		b.healthy = true
@@ -118,13 +201,28 @@ func (b *backend) note(cells int) {
 	b.mu.Unlock()
 }
 
-// snapshot reports the backend's health view and its live client (nil
-// when disconnected).
+// counts reports the per-backend execution counters.
+func (b *backend) counts() (cells, failures uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cells, b.failures
+}
+
+// snapshot reports a static backend's health view and its live client
+// (nil when disconnected).
 func (b *backend) snapshot() (opusnet.BackendStatsPayload, *railserve.Client) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	state := ""
+	switch {
+	case b.dead:
+		state = string(railctl.StateDead)
+	case b.healthy:
+		state = string(railctl.StateHealthy)
+	}
 	return opusnet.BackendStatsPayload{
-		Addr: b.addr, Healthy: b.healthy, Cells: b.cells, Failures: b.failures,
+		Addr: b.addr, ID: b.id, Static: b.static, Capacity: 1, State: state,
+		Healthy: b.healthy, Cells: b.cells, Failures: b.failures,
 	}, b.client
 }
 
@@ -142,202 +240,167 @@ func (b *backend) close() {
 	}
 }
 
-// alive probes the non-excluded backends (dialing disconnected ones,
-// concurrently — one dead host must not stall the others behind its
-// dial timeout) and returns the fleet positions that answered, sorted.
-func (f *Coordinator) alive(excluded map[int]bool) []int {
-	var mu sync.Mutex
-	var out []int
-	var wg sync.WaitGroup
-	for _, b := range f.backends {
-		if excluded[b.index] {
-			continue
+// noteStaticUp emits the join event for a static backend that just
+// probed alive (first connect or a recovery from dead).
+func (f *Coordinator) noteStaticUp(b *backend) {
+	if b.revive() {
+		f.tel.Events.Emit(telemetry.Event{Type: "join", Member: b.id, Backend: b.address(), Capacity: 1})
+	}
+}
+
+// noteStaticDown marks a static backend dead — later requests skip its
+// dial probe until the reprobe loop (or an empty-fleet rescue probe)
+// revives it — and emits the leave event if it had been announced live.
+func (f *Coordinator) noteStaticDown(b *backend, reason string) {
+	if b.markDead() {
+		f.tel.Events.Emit(telemetry.Event{Type: "leave", Member: b.id, Backend: b.address(), Reason: reason})
+	}
+}
+
+// dynamicBackend returns (creating on first use) the connection record
+// for a registered member, repointing it if the member re-registered
+// from a new address. Membership state itself lives in the registry;
+// this record only carries the data-plane connection and counters.
+func (f *Coordinator) dynamicBackend(id, addr string) *backend {
+	f.mu.Lock()
+	b, ok := f.dynamic[id]
+	if !ok {
+		b = &backend{index: -1, id: id, addr: addr, dial: f.dial}
+		if f.closed {
+			b.closed = true
 		}
+		f.dynamic[id] = b
+	}
+	f.mu.Unlock()
+	b.setAddr(addr)
+	return b
+}
+
+// lookupDynamic returns the member's connection record, if any exists.
+func (f *Coordinator) lookupDynamic(id string) *backend {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dynamic[id]
+}
+
+// probeStatics dials the given disconnected statics concurrently — one
+// dead host must not stall the others behind its dial timeout — adding
+// the reachable ones to byID and marking the rest dead.
+func (f *Coordinator) probeStatics(probe []*backend, mu *sync.Mutex, byID map[string]*backend) {
+	var wg sync.WaitGroup
+	for _, b := range probe {
 		b := b
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			if _, err := b.get(); err == nil {
+				f.noteStaticUp(b)
 				mu.Lock()
-				out = append(out, b.index)
+				byID[b.id] = b
 				mu.Unlock()
-			} else if f.logf != nil {
-				f.logf("railfleet: backend %s unreachable: %v", b.addr, err)
+			} else {
+				if f.logf != nil {
+					f.logf("railfleet: backend %s unreachable: %v", b.address(), err)
+				}
+				f.noteStaticDown(b, "unreachable")
 			}
 		}()
 	}
 	wg.Wait()
-	sort.Ints(out)
-	return out
 }
 
-// executeGrid fans one expanded grid out across the fleet and merges
-// the partial rows back into canonical expansion order — the
-// coordinator's core. Cells shard by workload key (Assign); each
-// backend's share is submitted in batches of at most f.inFlight cells
-// (the per-backend in-flight cap). A backend that dies or errors
-// mid-grid has its unfinished cells re-sharded across the survivors on
-// the next wave; the grid fails only when no backend is left. The
-// returned rows are byte-identical to a single-daemon run, whichever
-// backends executed which cells.
-//
-// onCell receives aggregated monotonic progress over the whole grid:
-// committed cells (rows landed) plus live in-batch ticks, never
-// exceeding the total — a failed batch's ticks are discarded along
-// with its re-executed cells.
-func (f *Coordinator) executeGrid(ctx context.Context, spec scenario.Spec, grid scenario.Grid, onCell func(done, total int)) ([]scenario.Row, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	cells := grid.Expand()
-	total := len(cells)
-	rows := make([]scenario.Row, total)
-
-	var pmu sync.Mutex
-	committed, lastEmitted, batchSeq := 0, 0, 0
-	live := make(map[int]int) // batch id -> cells done in that batch
-	emit := func() {          // pmu held
-		v := committed
-		for _, d := range live {
-			v += d
+// waveTargets assembles one wave's assignable backends: connected
+// statics join immediately, disconnected non-dead statics get one
+// concurrent probe, and known-dead statics are skipped — the reprobe
+// loop owns their revival, so a request never pays a dial timeout for
+// a backend that already failed one (the old per-request re-probe).
+// Dynamic members come from the registry's heartbeat state with their
+// advertised capacity as rendezvous weight — no dialing at all; their
+// connections open lazily when a batch lands. If nothing is assignable
+// the dead statics get a rescue probe, so a fully-restarted static
+// fleet still serves rather than failing the request.
+func (f *Coordinator) waveTargets(excluded map[string]bool) ([]Target, map[string]*backend) {
+	var mu sync.Mutex
+	byID := make(map[string]*backend, len(f.static))
+	weights := make(map[string]int, len(f.static))
+	var probe []*backend
+	for _, b := range f.static {
+		if excluded[b.id] {
+			continue
 		}
-		if v > lastEmitted {
-			lastEmitted = v
-			if onCell != nil {
-				onCell(v, total)
+		weights[b.id] = 1
+		connected, dead := b.connected()
+		switch {
+		case connected:
+			byID[b.id] = b
+		case dead:
+			// skip: the reprobe loop owns revival
+		default:
+			probe = append(probe, b)
+		}
+	}
+	f.probeStatics(probe, &mu, byID)
+	if f.registry != nil {
+		for _, m := range f.registry.Assignable() {
+			if excluded[m.ID] {
+				continue
+			}
+			byID[m.ID] = f.dynamicBackend(m.ID, m.Addr)
+			weights[m.ID] = m.Capacity
+		}
+	}
+	if len(byID) == 0 {
+		var rescue []*backend
+		for _, b := range f.static {
+			if !excluded[b.id] && b.isDead() {
+				rescue = append(rescue, b)
 			}
 		}
+		f.probeStatics(rescue, &mu, byID)
 	}
+	targets := make([]Target, 0, len(byID))
+	for id := range byID { //lint:allow maporder sorted below
+		targets = append(targets, Target{ID: id, Weight: weights[id]})
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+	return targets, byID
+}
 
-	remaining := make([]int, total)
-	for i := range remaining {
-		remaining[i] = i
-	}
-	// A backend that fails during THIS request is excluded from its
-	// later waves: each wave's candidate set strictly shrinks, so a
-	// backend returning a deterministic refusal (e.g. a pre-cells_req
-	// raild answering "unsupported message type") is routed around
-	// once instead of being re-dialed and re-failed forever. It is
-	// re-probed on the NEXT request, so restarts still rejoin.
-	excluded := make(map[int]bool)
-	for wave := 0; len(remaining) > 0; wave++ {
-		alive := f.alive(excluded)
-		if len(alive) == 0 {
-			return nil, fmt.Errorf("railfleet: no live backends (%d of %d cells unexecuted)", len(remaining), total)
-		}
-		assignment := Assign(cells, remaining, alive)
-		if f.logf != nil {
-			f.logf("railfleet: grid %q wave %d: %d cells across %d backends", grid.Name, wave, len(remaining), len(assignment))
-		}
-		// One sharded event per (wave, backend), in backend order so the
-		// event stream is deterministic for a given assignment.
-		shardOrder := make([]int, 0, len(assignment))
-		for bi := range assignment {
-			shardOrder = append(shardOrder, bi)
-		}
-		sort.Ints(shardOrder)
-		for _, bi := range shardOrder {
-			f.tel.Events.Emit(telemetry.Event{Type: "sharded", Exp: grid.Name,
-				Backend: f.backends[bi].addr, Cells: len(assignment[bi]), Wave: wave})
+// DefaultReprobeInterval is the cadence at which the coordinator
+// re-probes dead static backends in the background when Config leaves
+// it zero: fast enough that a restarted daemon rejoins within a couple
+// of seconds, slow enough that a down host costs one dial attempt per
+// tick instead of one per request.
+const DefaultReprobeInterval = 2 * time.Second
+
+// reprobeLoop revives dead static backends in the background — the
+// request path skips them entirely, so this loop is the only thing
+// (besides the empty-fleet rescue probe) that brings a restarted
+// static daemon back into the rotation.
+func (f *Coordinator) reprobeLoop(interval time.Duration) {
+	defer f.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.baseCtx.Done():
+			return
+		case <-ticker.C:
 		}
 		var wg sync.WaitGroup
-		var fmu sync.Mutex
-		var failed []int
-		for bi, idxs := range assignment {
-			b, idxs := f.backends[bi], idxs
+		for _, b := range f.static {
+			if !b.isDead() {
+				continue
+			}
+			b := b
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for start := 0; start < len(idxs); start += f.inFlight {
-					end := start + f.inFlight
-					if end > len(idxs) {
-						end = len(idxs)
-					}
-					if err := f.runBatch(ctx, b, spec, idxs[start:end], rows, &pmu, &committed, live, &batchSeq, emit); err != nil {
-						if ctx.Err() != nil {
-							return // cancelled: the wave exit reports it
-						}
-						if f.logf != nil {
-							f.logf("railfleet: backend %s failed %d cells of grid %q: %v (re-sharding)",
-								b.addr, len(idxs)-start, grid.Name, err)
-						}
-						f.failoversC.Inc()
-						f.tel.Events.Emit(telemetry.Event{Type: "failover", Exp: grid.Name,
-							Backend: b.addr, Cells: len(idxs) - start, Wave: wave, Err: err.Error()})
-						fmu.Lock()
-						excluded[b.index] = true
-						failed = append(failed, idxs[start:]...)
-						fmu.Unlock()
-						return
-					}
-					f.tel.Events.Emit(telemetry.Event{Type: "cell_complete", Exp: grid.Name,
-						Backend: b.addr, Cells: end - start, Wave: wave})
+				if _, err := b.get(); err == nil {
+					f.noteStaticUp(b)
 				}
 			}()
 		}
 		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		remaining = failed
 	}
-	return rows, nil
-}
-
-// runBatch executes one cell batch on one backend and merges its rows.
-// Any failure other than the caller's own cancellation marks the
-// backend failed (dropping its connection) so the wave loop re-shards.
-func (f *Coordinator) runBatch(ctx context.Context, b *backend, spec scenario.Spec, batch []int,
-	rows []scenario.Row, pmu *sync.Mutex, committed *int, live map[int]int, batchSeq *int, emit func()) error {
-	pmu.Lock()
-	*batchSeq++
-	id := *batchSeq
-	pmu.Unlock()
-	defer func() {
-		pmu.Lock()
-		delete(live, id)
-		pmu.Unlock()
-	}()
-
-	c, err := b.get()
-	if err != nil {
-		return err
-	}
-	// The batch — not the request — is bounded: a wedged backend's
-	// batch expires (sending it a cancel frame) and its cells re-shard,
-	// while the caller's own cancellation is still distinguished via
-	// the parent ctx.
-	bctx := ctx
-	if f.batchTimeout > 0 {
-		var bcancel context.CancelFunc
-		bctx, bcancel = context.WithTimeout(ctx, f.batchTimeout)
-		defer bcancel()
-	}
-	run, err := c.RunCellsCtx(bctx, spec, batch, 0, func(done, _ int) {
-		pmu.Lock()
-		if done > live[id] {
-			live[id] = done
-			emit()
-		}
-		pmu.Unlock()
-	})
-	if err == nil && len(run.Rows) != len(batch) {
-		err = fmt.Errorf("railfleet: backend %s returned %d rows for a %d-cell batch", b.addr, len(run.Rows), len(batch))
-	}
-	if err != nil {
-		if ctx.Err() == nil {
-			b.fail(c)
-		}
-		return err
-	}
-	for j, idx := range batch {
-		rows[idx] = run.Rows[j]
-	}
-	b.note(len(batch))
-	pmu.Lock()
-	delete(live, id)
-	*committed += len(batch)
-	emit()
-	pmu.Unlock()
-	return nil
 }

@@ -1,6 +1,8 @@
 package railfleet
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"photonrail/internal/scenario"
@@ -113,6 +115,80 @@ func TestAssignRendezvousStability(t *testing.T) {
 					t.Fatalf("cell %d moved to backend %d but did not belong to dead backend %d", idx, bi, dead)
 				}
 			}
+		}
+	}
+}
+
+// TestWeightedShareTracksCapacity: over a large synthetic key space,
+// each target's share of keys tracks its capacity weight within a few
+// percent — the CARP-style scoring really is capacity-proportional, so
+// a backend advertising twice the workers absorbs about twice the
+// workloads.
+func TestWeightedShareTracksCapacity(t *testing.T) {
+	targets := []Target{
+		{ID: "a", Weight: 1},
+		{ID: "b", Weight: 2},
+		{ID: "c", Weight: 4},
+		{ID: "d", Weight: 8},
+	}
+	const keys = 20000
+	counts := make(map[string]int, len(targets))
+	for i := 0; i < keys; i++ {
+		counts[ownerOf(fmt.Sprintf("workload-%d", i), targets)]++
+	}
+	const totalWeight = 15.0
+	for _, tg := range targets {
+		want := keys * float64(tg.Weight) / totalWeight
+		got := float64(counts[tg.ID])
+		if diff := math.Abs(got-want) / want; diff > 0.10 {
+			t.Errorf("target %s (weight %d) owns %d keys, want ~%.0f (share off by %.1f%%)",
+				tg.ID, tg.Weight, counts[tg.ID], want, diff*100)
+		}
+	}
+}
+
+// TestWeightedJoinLeaveMinimalMovement: the weighted rendezvous keeps
+// the minimal-disruption property — a leave moves only the leaver's
+// keys, a join moves keys only onto the joiner, and a re-weight moves
+// keys only onto the re-weighted target.
+func TestWeightedJoinLeaveMinimalMovement(t *testing.T) {
+	base := []Target{{ID: "a", Weight: 1}, {ID: "b", Weight: 2}, {ID: "c", Weight: 3}}
+	const keys = 5000
+	owner := func(ts []Target, i int) string { return ownerOf(fmt.Sprintf("workload-%d", i), ts) }
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = owner(base, i)
+	}
+
+	// Leave: dropping "c" relocates nothing that was not c's.
+	left := base[:2]
+	for i := 0; i < keys; i++ {
+		if got := owner(left, i); before[i] != "c" && got != before[i] {
+			t.Fatalf("key %d moved from %s to %s when only c left", i, before[i], got)
+		}
+	}
+
+	// Join: every key "d" does not win stays put.
+	joined := append(append([]Target(nil), base...), Target{ID: "d", Weight: 2})
+	moved := 0
+	for i := 0; i < keys; i++ {
+		got := owner(joined, i)
+		if got != before[i] {
+			if got != "d" {
+				t.Fatalf("key %d moved from %s to %s on d's join", i, before[i], got)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no key moved to the joiner")
+	}
+
+	// Re-weight: raising b's capacity pulls keys toward b only.
+	rew := []Target{{ID: "a", Weight: 1}, {ID: "b", Weight: 4}, {ID: "c", Weight: 3}}
+	for i := 0; i < keys; i++ {
+		if got := owner(rew, i); got != before[i] && got != "b" {
+			t.Fatalf("key %d moved from %s to %s when only b was re-weighted", i, before[i], got)
 		}
 	}
 }

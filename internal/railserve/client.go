@@ -274,6 +274,44 @@ func (c *Client) RunExperiment(ctx context.Context, req opusnet.ExpRequestPayloa
 	}, nil
 }
 
+// ack sends a request frame and blocks for its MsgAck, bounded by ctx
+// — the shared shape of the fleet control-plane calls (register,
+// heartbeat, drain), whose replies carry no payload.
+func (c *Client) ack(ctx context.Context, m *opusnet.Message) error {
+	p, err := c.start(m, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.awaitCtx(ctx, c)
+	if err != nil {
+		return err
+	}
+	if resp.Type != opusnet.MsgAck {
+		return fmt.Errorf("railserve: unexpected reply %q to %s", resp.Type, m.Type)
+	}
+	return nil
+}
+
+// FleetRegister announces a backend to a fleet coordinator and blocks
+// for the acknowledgement — the agent's registration call.
+func (c *Client) FleetRegister(ctx context.Context, p opusnet.FleetRegisterPayload) error {
+	return c.ack(ctx, &opusnet.Message{Type: opusnet.MsgFleetRegister, FleetReg: &p})
+}
+
+// FleetHeartbeat refreshes a registration (liveness, capacity, piggy-
+// backed stats) and blocks for the acknowledgement. A coordinator that
+// no longer knows the identity refuses with MsgErr, surfacing here as
+// an error the caller answers by re-registering.
+func (c *Client) FleetHeartbeat(ctx context.Context, p opusnet.HeartbeatPayload) error {
+	return c.ack(ctx, &opusnet.Message{Type: opusnet.MsgHeartbeat, Heartbeat: &p})
+}
+
+// FleetDrain announces a graceful departure; the acknowledgement
+// guarantees the coordinator will assign the backend no new work.
+func (c *Client) FleetDrain(ctx context.Context, p opusnet.DrainPayload) error {
+	return c.ack(ctx, &opusnet.Message{Type: opusnet.MsgDrain, DrainReq: &p})
+}
+
 // sendCancel writes a cancel frame for an outstanding request's seq.
 func (c *Client) sendCancel(seq uint64) {
 	c.wmu.Lock()

@@ -356,6 +356,27 @@ func (s *Server) Close() error {
 // that started them; a production shutdown calls Close alone.
 func (s *Server) Drain() { s.execWG.Wait() }
 
+// DrainCtx is Drain bounded by ctx — the graceful-shutdown wait: raild
+// announces its drain to the coordinator, then waits here for in-flight
+// executions to finish (bounded by -drain-timeout) before closing.
+func (s *Server) DrainCtx(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.execWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Capacity reports the engine's worker-pool size — the weight a
+// registered backend advertises for capacity-weighted sharding.
+func (s *Server) Capacity() int { return s.engine.Workers() }
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	opusnet.AcceptLoop(s.ln,

@@ -15,7 +15,8 @@ type Event struct {
 	Seq  uint64 `json:"seq"`
 	Time int64  `json:"time_unix_nano"`
 	// Type is one of: submitted, deduped, sharded, cell_complete,
-	// failover, result, cancel.
+	// failover, result, cancel — plus the fleet-membership lifecycle:
+	// join, leave, drain, drain_handoff.
 	Type string `json:"type"`
 	// Req is the server-assigned request id ("r17"); empty for events
 	// not tied to one request (failover, sharded waves).
@@ -36,6 +37,15 @@ type Event struct {
 	DurationNS int64 `json:"duration_ns,omitempty"`
 	// Err carries the error string for failed results and failovers.
 	Err string `json:"err,omitempty"`
+	// Member is the stable fleet identity for membership lifecycle
+	// events (join/leave/drain/drain_handoff); Backend carries the
+	// member's serving address alongside it.
+	Member string `json:"member,omitempty"`
+	// Capacity is the member's advertised worker-pool size on join/drain.
+	Capacity int `json:"capacity,omitempty"`
+	// Reason distinguishes membership transitions: a leave is "drained"
+	// or "heartbeat timeout"; a drain carries the sender's reason.
+	Reason string `json:"reason,omitempty"`
 }
 
 // nower lets tests pin the clock; production uses time.Now.

@@ -48,6 +48,7 @@ photonrail/internal/ocs 90
 photonrail/internal/opus 84
 photonrail/internal/opusnet 82
 photonrail/internal/parallelism 90
+photonrail/internal/railctl 88
 photonrail/internal/railfleet 80
 photonrail/internal/railserve 80
 photonrail/internal/report 95
