@@ -1,0 +1,216 @@
+// Command railgate is the HTTP/JSON front door to the experiment
+// fleet: it fronts a raild daemon or railfleet coordinator (or spins up
+// an in-process daemon when standalone) and serves the experiment
+// registry to plain HTTP clients — catalog, parameterized runs with
+// content negotiation (JSON/CSV/text), per-run SSE progress, and the
+// gateway's own /metrics and /events.
+//
+// Requests carry a tenant in the X-Tenant header; each tenant gets a
+// token-bucket rate limit, a bounded admission queue (429 + Retry-After
+// past either), and a weighted fair share of the execution slots, so
+// one tenant's 4096-cell grid cannot starve another's fig4. With
+// -store, completed results also persist to a content-addressed
+// on-disk store and identical requests — across tenants, gateways, and
+// daemon restarts — are served from disk with zero new simulations.
+//
+// Usage:
+//
+//	railgate                                  # in-process daemon, listen on 127.0.0.1:8080
+//	railgate -connect 10.0.0.9:9090           # front an existing raild/railfleet
+//	railgate -store /var/lib/railgate         # durable cross-restart result store
+//	railgate -rate 5 -burst 10 -queue 32      # default-tenant admission policy
+//	railgate -tenant 'ci,rate=100,weight=4'   # per-tenant override (repeatable)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"photonrail/internal/railgate"
+	"photonrail/internal/railserve"
+	"photonrail/internal/resultstore"
+)
+
+func main() {
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, stop); err != nil {
+		fmt.Fprintf(os.Stderr, "railgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// tenantFlags collects repeatable -tenant specs.
+type tenantFlags map[string]railgate.TenantLimits
+
+func (t tenantFlags) String() string { return fmt.Sprintf("%d tenant overrides", len(t)) }
+
+func (t tenantFlags) Set(spec string) error {
+	name, limits, err := parseTenantSpec(spec)
+	if err != nil {
+		return err
+	}
+	t[name] = limits
+	return nil
+}
+
+// parseTenantSpec parses "name,key=value,..." with keys rate, burst,
+// weight, inflight, queue.
+func parseTenantSpec(spec string) (string, railgate.TenantLimits, error) {
+	parts := strings.Split(spec, ",")
+	name := strings.TrimSpace(parts[0])
+	if name == "" {
+		return "", railgate.TenantLimits{}, fmt.Errorf("tenant spec %q: empty tenant name", spec)
+	}
+	var l railgate.TenantLimits
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", railgate.TenantLimits{}, fmt.Errorf("tenant spec %q: %q is not key=value", spec, kv)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "rate", "burst", "weight":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return "", railgate.TenantLimits{}, fmt.Errorf("tenant spec %q: bad %s %q", spec, key, val)
+			}
+			switch key {
+			case "rate":
+				l.RatePerSec = f
+			case "burst":
+				l.Burst = f
+			case "weight":
+				l.Weight = f
+			}
+		case "inflight", "queue":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return "", railgate.TenantLimits{}, fmt.Errorf("tenant spec %q: bad %s %q", spec, key, val)
+			}
+			if key == "inflight" {
+				l.MaxInFlight = n
+			} else {
+				l.MaxQueue = n
+			}
+		default:
+			return "", railgate.TenantLimits{}, fmt.Errorf("tenant spec %q: unknown key %q (want rate, burst, weight, inflight, queue)", spec, key)
+		}
+	}
+	return name, l, nil
+}
+
+// run starts the gateway and serves until stop delivers. It is the
+// testable core: main wires OS signals in, tests feed the channel
+// directly.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("railgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tenants := tenantFlags{}
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		connect  = fs.String("connect", "", "raild/railfleet address to front (empty = in-process daemon)")
+		parallel = fs.Int("parallel", 0, "in-process daemon worker count (0 = NumCPU)")
+		cache    = fs.Int64("cache", 4096, "in-process daemon cache bound in simulation units (0 = unbounded)")
+		slots    = fs.Int("slots", 4, "gateway-wide concurrent execution slots")
+		storeDir = fs.String("store", "", "durable result-store directory (empty = disabled)")
+		storeMax = fs.Int64("store-max-bytes", 256<<20, "result-store size bound before LRU eviction (0 = unbounded)")
+		storeSyn = fs.Bool("store-fsync", false, "fsync stored results (survive power loss, not just crashes)")
+		rate     = fs.Float64("rate", 0, "default tenant sustained requests/sec (0 = unlimited)")
+		burst    = fs.Float64("burst", 0, "default tenant burst depth (0 = max(1, rate))")
+		inflight = fs.Int("inflight", 0, "default tenant max in-flight requests (0 = uncapped)")
+		queue    = fs.Int("queue", 0, "default tenant max queued requests (0 = 64)")
+		verbose  = fs.Bool("verbose", false, "log gateway events to stderr")
+	)
+	fs.Var(tenants, "tenant", "per-tenant override 'name,rate=R,burst=B,weight=W,inflight=N,queue=Q' (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (railgate takes flags only)", fs.Args())
+	}
+	if *connect != "" && (*parallel != 0 || *cache != 4096) {
+		return fmt.Errorf("-parallel/-cache configure the in-process daemon and conflict with -connect")
+	}
+
+	backendAddr := *connect
+	if backendAddr == "" {
+		// Standalone: an in-process daemon on a loopback port, dialed
+		// like any remote one — the gateway path is identical either way.
+		s, err := railserve.NewServer(railserve.Config{Workers: *parallel, MaxCacheCost: *cache})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = s.Close() }()
+		backendAddr = s.Addr()
+		fmt.Fprintf(stdout, "railgate: in-process daemon on %s\n", backendAddr)
+	}
+	client, err := railserve.Dial(backendAddr)
+	if err != nil {
+		return fmt.Errorf("backend %s: %w", backendAddr, err)
+	}
+	defer func() { _ = client.Close() }()
+
+	var store *resultstore.Store
+	if *storeDir != "" {
+		store, err = resultstore.Open(resultstore.Config{Dir: *storeDir, MaxBytes: *storeMax, Fsync: *storeSyn})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "railgate: durable results in %s (%d entries)\n", *storeDir, store.Stats().Entries)
+	}
+
+	cfg := railgate.Config{
+		Runner: client,
+		Store:  store,
+		Slots:  *slots,
+		DefaultTenant: railgate.TenantLimits{
+			RatePerSec:  *rate,
+			Burst:       *burst,
+			MaxInFlight: *inflight,
+			MaxQueue:    *queue,
+		},
+		Tenants: tenants,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	g, err := railgate.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: g.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }() // joined below: Serve returns once hs.Close runs
+	fmt.Fprintf(stdout, "railgate: listening on http://%s\n", ln.Addr())
+	select {
+	case <-stop:
+	case err := <-serveErr:
+		return err
+	}
+	fmt.Fprintf(stdout, "railgate: shutting down\n")
+	_ = hs.Close()
+	<-serveErr
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestParseTenantSpec covers the -tenant flag grammar.
+func TestParseTenantSpec(t *testing.T) {
+	name, l, err := parseTenantSpec("ci,rate=2.5,burst=10,weight=4,inflight=2,queue=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "ci" || l.RatePerSec != 2.5 || l.Burst != 10 || l.Weight != 4 || l.MaxInFlight != 2 || l.MaxQueue != 8 {
+		t.Fatalf("parsed %q / %+v", name, l)
+	}
+	name, l, err = parseTenantSpec("bare")
+	if err != nil || name != "bare" || l.RatePerSec != 0 || l.Weight != 0 {
+		t.Fatalf("bare spec: %q %+v %v", name, l, err)
+	}
+	for _, bad := range []string{
+		"",                  // empty name
+		",rate=1",           // empty name with keys
+		"t,rate",            // not key=value
+		"t,rate=x",          // bad float
+		"t,inflight=-1",     // negative
+		"t,queue=1.5",       // not an int
+		"t,throughput=1000", // unknown key
+	} {
+		if _, _, err := parseTenantSpec(bad); err == nil {
+			t.Errorf("parseTenantSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFlagValidation covers the CLI refusal paths.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"positional"},
+		{"-connect", "10.0.0.1:9090", "-parallel", "4"},
+		{"-tenant", "t,bogus=1"},
+	} {
+		var out, errb strings.Builder
+		stop := make(chan struct{})
+		close(stop)
+		if err := run(args, &out, &errb, nil); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestGatewayServesCatalog boots the CLI end to end (in-process daemon)
+// and fetches the catalog.
+func TestGatewayServesCatalog(t *testing.T) {
+	base := startGateway(t, "-tenant", "ci,rate=100")
+	resp, err := http.Get(base + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var entries []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatalf("catalog not JSON: %v\n%s", err, body)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty catalog")
+	}
+}

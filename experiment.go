@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"photonrail/internal/cost"
+	"photonrail/internal/exp"
 	"photonrail/internal/parallelism"
 	"photonrail/internal/report"
 	"photonrail/internal/scenario"
@@ -623,6 +624,24 @@ func DescribeExperiments(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ExperimentKey is the canonical content-address of one experiment
+// invocation: a stable hash over the registry name and every parameter
+// that can affect the result (OnProgress is observational and excluded).
+// The raild daemon keys its request-level singleflight on it, and the
+// railgate front door keys its durable result store on the same hash —
+// so identical requests coalesce in flight, dedup across daemons, and
+// resolve to one stored object across restarts. Parameters are hashed
+// as given: a zero value and its spelled-out default produce different
+// keys even though they run identically, matching the daemon's
+// singleflight behavior since PR 4.
+func ExperimentKey(name string, p Params) string {
+	var spec GridSpec
+	if p.Grid != nil {
+		spec = *p.Grid
+	}
+	return exp.Key("exp", name, p.Iterations, p.WindowIterations, p.LatenciesMS, p.Rail, p.GPUs, spec)
 }
 
 // ExperimentNames lists the registered experiment names, sorted.

@@ -36,9 +36,13 @@ func (c *CDF) At(x float64) float64 {
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
-// method. Quantile(0) is the minimum; Quantile(1) the maximum.
+// method. Quantile(0) is the minimum; Quantile(1) the maximum; a NaN q
+// (or an empty CDF) is NaN. Out-of-range q clamps to the nearest bound.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.sorted) == 0 {
+	if len(c.sorted) == 0 || math.IsNaN(q) {
+		// NaN compares false against everything, so without this guard
+		// a NaN q would fall through to int(NaN) — an implementation-
+		// defined conversion that indexes out of range.
 		return math.NaN()
 	}
 	if q <= 0 {
@@ -50,6 +54,9 @@ func (c *CDF) Quantile(q float64) float64 {
 	rank := int(math.Ceil(q*float64(len(c.sorted)))) - 1
 	if rank < 0 {
 		rank = 0
+	}
+	if rank >= len(c.sorted) {
+		rank = len(c.sorted) - 1
 	}
 	return c.sorted[rank]
 }

@@ -60,6 +60,53 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileBoundaries pins the nearest-rank edges: extreme and
+// out-of-range q, the single-sample CDF, exact rank boundaries on an
+// even-sized sample set, and NaN safety — a NaN q compares false
+// against both range guards, so it must be caught explicitly rather
+// than converted to an index.
+func TestQuantileBoundaries(t *testing.T) {
+	four := NewCDF([]float64{1, 2, 3, 4})
+	single := NewCDF([]float64{7})
+	tests := []struct {
+		name string
+		c    *CDF
+		q    float64
+		want float64
+	}{
+		{"zero-is-min", four, 0, 1},
+		{"one-is-max", four, 1, 4},
+		{"negative-clamps-to-min", four, -0.5, 1},
+		{"above-one-clamps-to-max", four, 1.5, 4},
+		{"exact-rank-boundary", four, 0.25, 1},     // ceil(0.25*4) = 1st sample exactly
+		{"just-past-rank-boundary", four, 0.26, 2}, // ceil(0.26*4) = 2nd
+		{"median-even-n", four, 0.5, 2},            // nearest-rank median of even n is the lower middle
+		{"just-past-median", four, 0.51, 3},
+		{"p75-boundary", four, 0.75, 3},
+		{"epsilon-below-one", four, math.Nextafter(1, 0), 4},
+		{"single-sample-min", single, 0, 7},
+		{"single-sample-median", single, 0.5, 7},
+		{"single-sample-max", single, 1, 7},
+		{"single-sample-epsilon", single, math.SmallestNonzeroFloat64, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.c.Quantile(tt.q); got != tt.want {
+				t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+			}
+		})
+	}
+	// NaN in, NaN out — for any sample count, without panicking.
+	for _, c := range []*CDF{four, single, NewCDF(nil)} {
+		if got := c.Quantile(math.NaN()); !math.IsNaN(got) {
+			t.Errorf("Quantile(NaN) over %d samples = %v, want NaN", c.N(), got)
+		}
+	}
+	if got := NewCDF(nil).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile(0.5) = %v, want NaN", got)
+	}
+}
+
 func TestCDFDoesNotAliasInput(t *testing.T) {
 	in := []float64{3, 1, 2}
 	c := NewCDF(in)

@@ -28,8 +28,18 @@ type AgentConfig struct {
 	// Capacity is the advertised worker-pool size (minimum 1).
 	Capacity int
 	// Interval is the heartbeat cadence; 0 means
-	// DefaultHeartbeatInterval. It doubles as the redial backoff.
+	// DefaultHeartbeatInterval. It is also the redial backoff's base:
+	// consecutive failed redials double the wait from Interval up to
+	// MaxBackoff, and a successful registration resets it to Interval.
 	Interval time.Duration
+	// MaxBackoff caps the redial backoff (0 = 8×Interval). A dead
+	// coordinator therefore costs one dial per MaxBackoff at steady
+	// state, while a live one is rejoined within Interval of coming
+	// back only if the agent just started backing off.
+	MaxBackoff time.Duration
+	// sleepFn, when non-nil, replaces the backoff sleep — tests record
+	// the requested waits instead of actually waiting.
+	sleepFn func(d time.Duration)
 	// Stats, when non-nil, supplies the serving snapshot each heartbeat
 	// piggybacks (the same Stats() that serves stats_resp).
 	Stats func() opusnet.CacheStatsPayload
@@ -72,6 +82,12 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = DefaultHeartbeatInterval
 	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8 * cfg.Interval
+	}
+	if cfg.MaxBackoff < cfg.Interval {
+		cfg.MaxBackoff = cfg.Interval
+	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
@@ -90,9 +106,14 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 
 // loop is dial → register → heartbeat until the connection drops, then
 // back to dialing — unless a drain ended the membership, in which case
-// reconnecting would re-register and resurrect it.
+// reconnecting would re-register and resurrect it. Consecutive failed
+// redials back off exponentially from Interval to MaxBackoff; any
+// successful registration resets the backoff to Interval, so a healed
+// coordinator is heartbeated at full cadence immediately and a later
+// outage starts the backoff over from the base.
 func (a *Agent) loop() {
 	defer a.wg.Done()
+	backoff := a.cfg.Interval
 	for a.ctx.Err() == nil {
 		a.mu.Lock()
 		draining := a.draining
@@ -102,10 +123,15 @@ func (a *Agent) loop() {
 		}
 		c, err := a.connect()
 		if err != nil {
-			a.cfg.Logf("railctl: agent %s: coordinator %s unreachable: %v (retrying)", a.cfg.ID, a.cfg.Coordinator, err)
-			a.sleep(a.cfg.Interval)
+			a.cfg.Logf("railctl: agent %s: coordinator %s unreachable: %v (retrying in %v)", a.cfg.ID, a.cfg.Coordinator, err, backoff)
+			a.sleep(backoff)
+			backoff *= 2
+			if backoff > a.cfg.MaxBackoff {
+				backoff = a.cfg.MaxBackoff
+			}
 			continue
 		}
+		backoff = a.cfg.Interval
 		a.mu.Lock()
 		a.client = c
 		a.mu.Unlock()
@@ -165,6 +191,10 @@ func (a *Agent) heartbeats(c *railserve.Client) {
 
 // sleep waits d or until the agent stops.
 func (a *Agent) sleep(d time.Duration) {
+	if a.cfg.sleepFn != nil {
+		a.cfg.sleepFn(d)
+		return
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

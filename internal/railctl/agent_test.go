@@ -2,8 +2,10 @@ package railctl
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -190,6 +192,93 @@ func TestAgentDrainWithoutConnection(t *testing.T) {
 	if d := fc.await(t, opusnet.MsgDrain); d.DrainReq.ID != "node-x" {
 		t.Fatalf("drain payload = %+v", d.DrainReq)
 	}
+}
+
+// TestAgentRedialBackoffResets pins the redial backoff contract with a
+// stepped (never actually sleeping) clock: consecutive failed redials
+// double the wait from Interval up to MaxBackoff, and a successful
+// re-registration resets the next failure's wait to the base Interval —
+// a healed-then-reoutaged coordinator must not inherit the previous
+// outage's ceiling.
+func TestAgentRedialBackoffResets(t *testing.T) {
+	fc := startFakeCoord(t)
+	var failDial atomic.Bool
+	failDial.Store(true)
+
+	testDone := make(chan struct{})
+	t.Cleanup(func() { close(testDone) })
+	sleeps := make(chan time.Duration)
+	proceed := make(chan struct{})
+	const interval = 10 * time.Millisecond
+
+	a, err := StartAgent(AgentConfig{
+		Coordinator: fc.ln.Addr().String(),
+		ID:          "node-b",
+		Addr:        "serve-addr",
+		Interval:    interval,
+		MaxBackoff:  4 * interval,
+		Dial: func(addr string) (net.Conn, error) {
+			if failDial.Load() {
+				return nil, fmt.Errorf("injected dial failure")
+			}
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		},
+		sleepFn: func(d time.Duration) {
+			select {
+			case sleeps <- d:
+			case <-testDone:
+				return
+			}
+			select {
+			case <-proceed:
+			case <-testDone:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	nextSleep := func() time.Duration {
+		t.Helper()
+		select {
+		case d := <-sleeps:
+			return d
+		case <-time.After(30 * time.Second):
+			t.Fatal("agent never slept")
+			return 0
+		}
+	}
+	step := func() {
+		select {
+		case proceed <- struct{}{}:
+		case <-time.After(30 * time.Second):
+			t.Fatal("agent never resumed")
+		}
+	}
+
+	// Outage one: the backoff doubles and caps.
+	for i, want := range []time.Duration{interval, 2 * interval, 4 * interval, 4 * interval} {
+		if got := nextSleep(); got != want {
+			t.Fatalf("redial sleep %d = %v, want %v", i+1, got, want)
+		}
+		if i == 3 {
+			failDial.Store(false) // coordinator heals before the last retry fires
+		}
+		step()
+	}
+
+	fc.await(t, opusnet.MsgFleetRegister)
+
+	// Outage two: the connection drops and dialing fails again. The
+	// successful registration in between must have reset the backoff.
+	failDial.Store(true)
+	fc.dropConns()
+	if got := nextSleep(); got != interval {
+		t.Fatalf("first redial sleep after re-registration = %v, want base %v (backoff not reset)", got, interval)
+	}
+	step()
 }
 
 func TestAgentConfigValidation(t *testing.T) {

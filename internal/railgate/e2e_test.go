@@ -1,0 +1,253 @@
+package railgate
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"photonrail/internal/opusnet"
+	"photonrail/internal/railserve"
+	"photonrail/internal/resultstore"
+	"photonrail/internal/telemetry"
+)
+
+// startDaemon brings up a real raild-equivalent server and a client
+// dialed to it — the gateway's production backend shape.
+func startDaemon(t *testing.T) (*railserve.Server, *railserve.Client) {
+	t.Helper()
+	s, err := railserve.NewServer(railserve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := railserve.Dial(s.Addr())
+	if err != nil {
+		_ = s.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = c.Close()
+		_ = s.Close()
+	})
+	return s, c
+}
+
+// TestE2ECrossRestartDedup proves the durable store generalizes the
+// daemon's request-level singleflight across full restarts: the second
+// identical request — served by a brand-new daemon process with a cold
+// engine — returns byte-identical output from disk, with zero new
+// simulations on the fresh daemon (its engine counters stay at zero)
+// and the hit pinned in the store's own stats.
+func TestE2ECrossRestartDedup(t *testing.T) {
+	dir := t.TempDir()
+
+	// Session one: a real daemon computes the result and the gateway
+	// spills it to the durable store.
+	store1, err := resultstore.Open(resultstore.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon1, client1 := startDaemon(t)
+	g1, err := New(Config{Runner: client1, Store: store1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(g1.Handler())
+	resp, err := http.Post(srv1.URL+"/v1/experiments/fig4", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBody := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request status = %d: %s", resp.StatusCode, firstBody)
+	}
+	if got := daemon1.Stats().ExpsExecuted; got != 1 {
+		t.Fatalf("first daemon ExpsExecuted = %d, want 1", got)
+	}
+	// The daemon restarts: connection, server, and engine state all go
+	// away. Only the store directory survives.
+	srv1.Close()
+	g1.Close()
+
+	store2, err := resultstore.Open(resultstore.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store2.Stats().Entries; got != 1 {
+		t.Fatalf("restarted store entries = %d, want 1 (durable object missing)", got)
+	}
+	daemon2, client2 := startDaemon(t)
+	g2, err := New(Config{Runner: client2, Store: store2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+
+	resp, err = http.Post(srv2.URL+"/v1/experiments/fig4", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondBody := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart status = %d: %s", resp.StatusCode, secondBody)
+	}
+	if secondBody != firstBody {
+		t.Fatalf("post-restart bytes diverged:\n%q\nvs\n%q", secondBody, firstBody)
+	}
+	if got := resp.Header.Get("Railgate-Cached"); got != "true" {
+		t.Fatalf("post-restart Railgate-Cached = %q, want true", got)
+	}
+	// The pin: the fresh daemon simulated nothing — no experiment
+	// executions, not even an engine cache lookup.
+	st := daemon2.Stats()
+	if st.ExpsExecuted != 0 || st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("fresh daemon touched its engine: ExpsExecuted=%d Hits=%d Misses=%d, want all 0",
+			st.ExpsExecuted, st.Hits, st.Misses)
+	}
+	ss := store2.Stats()
+	if ss.Hits != 1 || ss.Misses != 0 {
+		t.Fatalf("store stats after restart = %+v, want exactly 1 hit, 0 misses", ss)
+	}
+	// A genuinely new request (different params) still reaches the
+	// daemon — the store dedups, it doesn't fossilize.
+	resp, err = http.Post(srv2.URL+"/v1/experiments/fig4", "application/json",
+		strings.NewReader(`{"windowIterations":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("changed-params status = %d: %s", resp.StatusCode, body)
+	}
+	if got := daemon2.Stats().ExpsExecuted; got != 1 {
+		t.Fatalf("changed-params request did not reach the daemon (ExpsExecuted = %d, want 1)", got)
+	}
+}
+
+// gatedRunner forwards to a real backend but parks the first request
+// until released — pinning the gateway's only execution slot so the
+// test can load a backlog behind it deterministically. Every request
+// still executes on the real daemon once released.
+type gatedRunner struct {
+	inner   Runner
+	started chan struct{} // closed when the first request reaches the runner
+	release chan struct{} // the first request proceeds once this closes
+
+	mu    sync.Mutex
+	first bool
+}
+
+func (gr *gatedRunner) RunExperiment(ctx context.Context, req opusnet.ExpRequestPayload, onProgress func(done, total int)) (*railserve.ExpRun, error) {
+	gr.mu.Lock()
+	isFirst := !gr.first
+	gr.first = true
+	gr.mu.Unlock()
+	if isFirst {
+		close(gr.started)
+		select {
+		case <-gr.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return gr.inner.RunExperiment(ctx, req, onProgress)
+}
+
+// TestE2EFairQueueNoStarvation proves the weighted fair queue's
+// no-starvation guarantee end to end against a real daemon: a tenant
+// flooding the gateway with a deep backlog cannot starve another
+// tenant's single request — the light tenant's run is dispatched
+// immediately after the one in-flight execution, ahead of the entire
+// flood backlog.
+func TestE2EFairQueueNoStarvation(t *testing.T) {
+	_, client := startDaemon(t)
+	gr := &gatedRunner{inner: client, started: make(chan struct{}), release: make(chan struct{})}
+	g, err := New(Config{Runner: gr, Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	asyncPost := func(tenant string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/experiments/fig4?async=1", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("async submit (%s) status = %d: %s", tenant, resp.StatusCode, body)
+		}
+	}
+
+	// Flood request #1 takes the only slot (the gate holds it there);
+	// the backlog below queues deterministically behind it.
+	asyncPost("flood")
+	select {
+	case <-gr.started:
+	case <-ctx.Done():
+		t.Fatal("first flood run never reached the backend")
+	}
+	const backlog = 7
+	for i := 0; i < backlog; i++ {
+		asyncPost("flood")
+	}
+	if got := g.fq.Queued("flood"); got != backlog {
+		t.Fatalf("flood backlog = %d, want %d", got, backlog)
+	}
+
+	// The light tenant's single request arrives behind the flood, then
+	// the slot frees.
+	asyncPost("small")
+	close(gr.release)
+
+	// Drain everything, then read the dispatch order off the event log.
+	floodResults := 0
+	if err := g.tel.Events.WaitFor(ctx, func(ev telemetry.Event) bool {
+		if ev.Type == evResult && ev.Tenant == "flood" {
+			floodResults++
+		}
+		return floodResults == backlog+1
+	}); err != nil {
+		t.Fatalf("flood backlog never drained: %v", err)
+	}
+
+	var resultTenants []string
+	for _, ev := range g.tel.Events.Snapshot() {
+		if ev.Type == evResult {
+			resultTenants = append(resultTenants, ev.Tenant)
+		}
+		if ev.Type == evError {
+			t.Fatalf("run failed: %+v", ev)
+		}
+	}
+	if len(resultTenants) != backlog+2 {
+		t.Fatalf("results = %v, want %d runs", resultTenants, backlog+2)
+	}
+	// Start-time fair queuing guarantees the small tenant runs second —
+	// right after the already-executing flood run, ahead of all seven
+	// queued flood requests.
+	if resultTenants[0] != "flood" || resultTenants[1] != "small" {
+		t.Fatalf("dispatch order = %v: small tenant starved behind the flood backlog", resultTenants)
+	}
+	for _, tenant := range resultTenants[2:] {
+		if tenant != "flood" {
+			t.Fatalf("dispatch order = %v: unexpected tail", resultTenants)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package railgate
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrQueueFull reports a tenant's queue-depth cap was exceeded; the
+// gateway answers it with 429 + Retry-After.
+var ErrQueueFull = fmt.Errorf("railgate: tenant queue full")
+
+// fairQueue is a start-time-fair weighted queue over a bounded slot
+// pool — the scheduler that keeps one tenant's 4096-cell grid from
+// starving another tenant's fig4.
+//
+// Each admitted request is stamped with a virtual start/finish time:
+// vstart = max(global virtual time, the tenant's last virtual finish),
+// vfinish = vstart + cost/weight. When a slot frees, the eligible
+// request (per-tenant FIFO heads, tenants under their in-flight cap)
+// with the smallest virtual finish is granted, and the global virtual
+// time advances to its virtual start. A flooding tenant therefore only
+// advances its own virtual clock: its backlog's finish tags race ahead
+// of real time, and a light tenant's next request — whose tag starts at
+// the global clock — jumps the backlog. With equal weights and equal
+// costs this degrades to round-robin; weights scale each tenant's
+// share; costs (grid cell counts) make a huge grid pay for its size.
+//
+// The zero value is not usable; construct with newFairQueue.
+type fairQueue struct {
+	mu       sync.Mutex
+	slots    int // free execution slots
+	vtime    float64
+	tenants  map[string]*fqTenant
+	grantSeq uint64 // FIFO tiebreak for equal virtual finish tags
+}
+
+// fqTenant is one tenant's scheduling state.
+type fqTenant struct {
+	lastFinish float64
+	inflight   int
+	queue      []*fqWaiter
+}
+
+// fqWaiter is one queued request. ready closes when a slot is granted;
+// granted/cancelled are guarded by the queue mutex.
+type fqWaiter struct {
+	tenantID    string
+	weight      float64
+	maxInflight int
+	cost        float64
+	vstart      float64
+	vfinish     float64
+	seq         uint64
+	ready       chan struct{}
+	granted     bool
+	cancelled   bool
+}
+
+// newFairQueue builds a queue dispatching over the given slot count
+// (minimum 1).
+func newFairQueue(slots int) *fairQueue {
+	if slots < 1 {
+		slots = 1
+	}
+	return &fairQueue{slots: slots, tenants: make(map[string]*fqTenant)}
+}
+
+// Enqueue admits one request for the tenant, or refuses with
+// ErrQueueFull when the tenant already has maxQueue requests waiting.
+// weight scales the tenant's share (minimum treated as 1); maxInflight
+// caps the tenant's concurrently granted slots (0 = no per-tenant cap);
+// cost is the request's size in scheduling units (grid cell count; 1
+// for scalar experiments).
+func (q *fairQueue) Enqueue(tenantID string, weight float64, maxInflight, maxQueue int, cost float64) (*fqWaiter, error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenants[tenantID]
+	if t == nil {
+		t = &fqTenant{}
+		q.tenants[tenantID] = t
+	}
+	if maxQueue > 0 && len(t.queue) >= maxQueue {
+		return nil, ErrQueueFull
+	}
+	w := &fqWaiter{
+		tenantID:    tenantID,
+		weight:      weight,
+		maxInflight: maxInflight,
+		cost:        cost,
+		ready:       make(chan struct{}),
+	}
+	w.vstart = q.vtime
+	if t.lastFinish > w.vstart {
+		w.vstart = t.lastFinish
+	}
+	w.vfinish = w.vstart + cost/weight
+	t.lastFinish = w.vfinish
+	q.grantSeq++
+	w.seq = q.grantSeq
+	t.queue = append(t.queue, w)
+	q.scheduleLocked()
+	return w, nil
+}
+
+// Wait blocks until the waiter is granted a slot or ctx expires. A
+// cancelled wait that raced its grant keeps the grant (the caller
+// observes nil and proceeds to fail fast under its dead context,
+// releasing the slot normally).
+func (w *fqWaiter) Wait(ctx context.Context, q *fairQueue) error {
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	q.mu.Lock()
+	if w.granted {
+		q.mu.Unlock()
+		return nil
+	}
+	w.cancelled = true
+	t := q.tenants[w.tenantID]
+	for i, qw := range t.queue {
+		if qw == w {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			break
+		}
+	}
+	q.mu.Unlock()
+	return ctx.Err()
+}
+
+// Release returns a granted slot to the pool and dispatches the next
+// eligible waiter.
+func (q *fairQueue) Release(w *fqWaiter) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t := q.tenants[w.tenantID]; t != nil {
+		t.inflight--
+	}
+	q.slots++
+	q.scheduleLocked()
+}
+
+// Depths snapshots the per-tenant queued (not yet granted) request
+// counts — the queue-depth gauge's scrape feed.
+func (q *fairQueue) Depths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.tenants))
+	for id, t := range q.tenants { //lint:allow maporder snapshot map; consumers sort or index by tenant
+		if len(t.queue) > 0 {
+			out[id] = len(t.queue)
+		}
+	}
+	return out
+}
+
+// Queued reports one tenant's current queue depth.
+func (q *fairQueue) Queued(tenantID string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t := q.tenants[tenantID]; t != nil {
+		return len(t.queue)
+	}
+	return 0
+}
+
+// scheduleLocked grants free slots to the eligible waiters with the
+// smallest virtual finish tags. Tenants are scanned in sorted order so
+// ties break deterministically (then by enqueue sequence).
+func (q *fairQueue) scheduleLocked() {
+	for q.slots > 0 {
+		ids := make([]string, 0, len(q.tenants))
+		for id, t := range q.tenants { //lint:allow maporder ids are sorted before use
+			if len(t.queue) == 0 {
+				continue
+			}
+			head := t.queue[0]
+			if head.maxInflight > 0 && t.inflight >= head.maxInflight {
+				continue
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			return
+		}
+		sort.Strings(ids)
+		var best *fqWaiter
+		var bestTenant *fqTenant
+		for _, id := range ids {
+			t := q.tenants[id]
+			head := t.queue[0]
+			if best == nil || head.vfinish < best.vfinish ||
+				(head.vfinish == best.vfinish && head.seq < best.seq) {
+				best, bestTenant = head, t
+			}
+		}
+		bestTenant.queue = bestTenant.queue[1:]
+		bestTenant.inflight++
+		q.slots--
+		if best.vstart > q.vtime {
+			q.vtime = best.vstart
+		}
+		best.granted = true
+		close(best.ready)
+	}
+}

@@ -1,0 +1,320 @@
+package railgate
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// isGranted reports whether the waiter's slot grant has fired, without
+// blocking.
+func isGranted(w *fqWaiter) bool {
+	select {
+	case <-w.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// grantedOf returns the single newly granted waiter among ws, failing
+// the test on zero or multiple grants — queues with one slot dispatch
+// exactly one waiter at a time, so grant order is fully deterministic.
+func grantedOf(t *testing.T, ws map[*fqWaiter]string) *fqWaiter {
+	t.Helper()
+	var got *fqWaiter
+	for w := range ws { //lint:allow maporder at most one waiter is granted, so order is immaterial
+		if isGranted(w) {
+			if got != nil {
+				t.Fatalf("two waiters granted at once")
+			}
+			got = w
+		}
+	}
+	if got == nil {
+		t.Fatalf("no waiter granted")
+	}
+	return got
+}
+
+// drainOrder releases the one granted waiter at a time and records the
+// tenant order the queue dispatched.
+func drainOrder(t *testing.T, q *fairQueue, ws map[*fqWaiter]string) []string {
+	t.Helper()
+	var order []string
+	for len(ws) > 0 {
+		w := grantedOf(t, ws)
+		order = append(order, ws[w])
+		delete(ws, w)
+		q.Release(w)
+	}
+	return order
+}
+
+// TestFairQueueInterleavesFloodedTenant pins the headline property: a
+// tenant with a deep backlog does not starve a tenant with a single
+// request — the light tenant's request jumps the backlog as soon as a
+// slot frees.
+func TestFairQueueInterleavesFloodedTenant(t *testing.T) {
+	q := newFairQueue(1)
+	ws := make(map[*fqWaiter]string)
+	for i := 0; i < 4; i++ {
+		w, err := q.Enqueue("flood", 1, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[w] = "flood"
+	}
+	// The first flood request was granted immediately (slot was free).
+	// A light tenant arriving now must run next, not after the backlog.
+	w, err := q.Enqueue("light", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws[w] = "light"
+	order := drainOrder(t, q, ws)
+	want := []string{"flood", "light", "flood", "flood", "flood"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairQueueCostMakesGridsPay pins that request cost shapes the
+// share: after one expensive (many-cell) request, the cheap tenant's
+// whole backlog drains before the expensive tenant runs again.
+func TestFairQueueCostMakesGridsPay(t *testing.T) {
+	q := newFairQueue(1)
+	ws := make(map[*fqWaiter]string)
+	for i := 0; i < 2; i++ {
+		w, err := q.Enqueue("grids", 1, 0, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[w] = "grids"
+	}
+	for i := 0; i < 3; i++ {
+		w, err := q.Enqueue("cheap", 1, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[w] = "cheap"
+	}
+	order := drainOrder(t, q, ws)
+	want := []string{"grids", "cheap", "cheap", "cheap", "grids"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairQueueWeightsScaleShare pins that a weight-2 tenant drains two
+// requests for every one of a weight-1 tenant under contention.
+func TestFairQueueWeightsScaleShare(t *testing.T) {
+	q := newFairQueue(1)
+	// Occupy the slot so every enqueue below queues.
+	hold, err := q.Enqueue("hold", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := make(map[*fqWaiter]string)
+	for i := 0; i < 4; i++ {
+		w, err := q.Enqueue("heavy", 2, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[w] = "heavy"
+	}
+	for i := 0; i < 2; i++ {
+		w, err := q.Enqueue("light", 1, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[w] = "light"
+	}
+	q.Release(hold)
+	order := drainOrder(t, q, ws)
+	// heavy tags: 0.5, 1.0, 1.5, 2.0; light tags: 1.0, 2.0 — ties break
+	// by enqueue order (heavy enqueued first).
+	want := []string{"heavy", "heavy", "light", "heavy", "heavy", "light"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairQueueQueueFull pins the depth cap: maxQueue waiting requests
+// admit, one more refuses with ErrQueueFull, and a free depth admits
+// again.
+func TestFairQueueQueueFull(t *testing.T) {
+	q := newFairQueue(1)
+	first, err := q.Enqueue("t", 1, 0, 2, 1) // granted immediately
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued []*fqWaiter
+	for i := 0; i < 2; i++ {
+		w, err := q.Enqueue("t", 1, 0, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, w)
+	}
+	if _, err := q.Enqueue("t", 1, 0, 2, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-cap enqueue error = %v, want ErrQueueFull", err)
+	}
+	if got := q.Queued("t"); got != 2 {
+		t.Fatalf("Queued = %d, want 2", got)
+	}
+	q.Release(first)
+	if !isGranted(queued[0]) {
+		t.Fatal("next waiter not granted after release")
+	}
+	if _, err := q.Enqueue("t", 1, 0, 2, 1); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+}
+
+// TestFairQueueMaxInflightCaps pins the per-tenant concurrency cap: with
+// two slots free, a maxInflight-1 tenant holds only one.
+func TestFairQueueMaxInflightCaps(t *testing.T) {
+	q := newFairQueue(2)
+	w1, err := q.Enqueue("t", 1, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := q.Enqueue("t", 1, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isGranted(w1) {
+		t.Fatal("first waiter should hold a slot")
+	}
+	if isGranted(w2) {
+		t.Fatal("second waiter granted past maxInflight=1")
+	}
+	// Another tenant still gets the second slot.
+	w3, err := q.Enqueue("other", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isGranted(w3) {
+		t.Fatal("other tenant should take the free slot")
+	}
+	q.Release(w1)
+	if !isGranted(w2) {
+		t.Fatal("second waiter not granted after first released")
+	}
+	q.Release(w2)
+	q.Release(w3)
+}
+
+// TestFairQueueWaitCancelRemoves pins that a cancelled wait leaves the
+// queue (later releases skip it) and reports the context error.
+func TestFairQueueWaitCancelRemoves(t *testing.T) {
+	q := newFairQueue(1)
+	hold, err := q.Enqueue("t", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := q.Enqueue("t", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, err := q.Enqueue("t", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := w2.Wait(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Wait = %v, want context.Canceled", err)
+	}
+	if got := q.Queued("t"); got != 1 {
+		t.Fatalf("Queued after cancel = %d, want 1", got)
+	}
+	q.Release(hold)
+	if !isGranted(w3) {
+		t.Fatal("release should skip the cancelled waiter and grant the next")
+	}
+}
+
+// TestFairQueueWaitKeepsRacedGrant pins the grant/cancel race contract:
+// a waiter granted before its context died observes the grant (nil), so
+// the slot is released through the normal path instead of leaking.
+func TestFairQueueWaitKeepsRacedGrant(t *testing.T) {
+	q := newFairQueue(1)
+	w, err := q.Enqueue("t", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := w.Wait(ctx, q); err != nil {
+		t.Fatalf("Wait after racing grant = %v, want nil (keep the grant)", err)
+	}
+	q.Release(w)
+	w2, err := q.Enqueue("t", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isGranted(w2) {
+		t.Fatal("slot not free after released raced grant")
+	}
+}
+
+// TestFairQueueWaitBlocksUntilGrant exercises the blocking path: a
+// waiter parked behind a held slot is granted when the holder releases.
+func TestFairQueueWaitBlocksUntilGrant(t *testing.T) {
+	q := newFairQueue(1)
+	hold, err := q.Enqueue("t", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := q.Enqueue("t", 1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w2.Wait(context.Background(), q) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Wait returned %v before release", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.Release(hold)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait = %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return after release")
+	}
+	q.Release(w2)
+}
+
+// TestFairQueueDepths pins the scrape snapshot shape: only tenants with
+// waiting requests appear.
+func TestFairQueueDepths(t *testing.T) {
+	q := newFairQueue(1)
+	if _, err := q.Enqueue("a", 1, 0, 0, 1); err != nil { // granted
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := q.Enqueue("a", 1, 0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Enqueue("b", 1, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := q.Depths()
+	if d["a"] != 2 || d["b"] != 1 || len(d) != 2 {
+		t.Fatalf("Depths = %v, want map[a:2 b:1]", d)
+	}
+}

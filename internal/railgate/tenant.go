@@ -1,0 +1,127 @@
+package railgate
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantLimits parameterizes one tenant's admission control. The zero
+// value of each field selects the documented default, so
+// Config.DefaultTenant{} yields a permissive tenant (no rate limit,
+// shared slots, a 64-deep queue).
+type TenantLimits struct {
+	// RatePerSec is the sustained request rate admitted (token-bucket
+	// refill; 0 = unlimited). Requests beyond the bucket are refused
+	// with 429 and a Retry-After telling the tenant when a token will
+	// exist.
+	RatePerSec float64
+	// Burst is the bucket depth (0 = max(1, RatePerSec)).
+	Burst float64
+	// MaxInFlight caps the tenant's concurrently executing requests
+	// (0 = no per-tenant cap; the gateway's slot pool still bounds the
+	// total).
+	MaxInFlight int
+	// MaxQueue caps the tenant's waiting (admitted but not yet
+	// executing) requests; one more is refused with 429. 0 = 64.
+	MaxQueue int
+	// Weight scales the tenant's fair-queue share (0 = 1).
+	Weight float64
+}
+
+// defaultMaxQueue is the queue-depth cap when TenantLimits.MaxQueue is
+// zero.
+const defaultMaxQueue = 64
+
+// withDefaults resolves the zero-value conventions.
+func (l TenantLimits) withDefaults() TenantLimits {
+	if l.Burst <= 0 {
+		l.Burst = math.Max(1, l.RatePerSec)
+	}
+	if l.MaxQueue <= 0 {
+		l.MaxQueue = defaultMaxQueue
+	}
+	if l.Weight <= 0 {
+		l.Weight = 1
+	}
+	return l
+}
+
+// tenantState is one tenant's live admission state.
+type tenantState struct {
+	limits TenantLimits
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// take spends one rate-limit token, refilling the bucket for the time
+// elapsed since the last call. When no token is available it reports
+// how long until one is — the Retry-After the gateway sends.
+func (t *tenantState) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if t.limits.RatePerSec <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.limits.RatePerSec
+	} else {
+		t.tokens = t.limits.Burst
+	}
+	if t.tokens > t.limits.Burst {
+		t.tokens = t.limits.Burst
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	need := (1 - t.tokens) / t.limits.RatePerSec
+	return false, time.Duration(math.Ceil(need*1000)) * time.Millisecond
+}
+
+// tenantSet resolves tenant names to their live state, creating each on
+// first sight from the per-tenant overrides or the default limits.
+type tenantSet struct {
+	def       TenantLimits
+	overrides map[string]TenantLimits
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+func newTenantSet(def TenantLimits, overrides map[string]TenantLimits) *tenantSet {
+	return &tenantSet{
+		def:       def.withDefaults(),
+		overrides: overrides,
+		tenants:   make(map[string]*tenantState),
+	}
+}
+
+// names lists every tenant seen so far (unsorted; callers sort).
+func (s *tenantSet) names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tenants))
+	for name := range s.tenants { //lint:allow maporder callers sort the snapshot
+		out = append(out, name)
+	}
+	return out
+}
+
+func (s *tenantSet) get(name string) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		limits := s.def
+		if o, ok := s.overrides[name]; ok {
+			limits = o.withDefaults()
+		}
+		t = &tenantState{limits: limits}
+		s.tenants[name] = t
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+package railgate
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketRefill walks a frozen clock through the bucket
+// contract: burst spends, refusal reports a correct Retry-After, and
+// elapsed time refills at RatePerSec.
+func TestTokenBucketRefill(t *testing.T) {
+	ts := &tenantState{limits: TenantLimits{RatePerSec: 1, Burst: 2}.withDefaults()}
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := ts.take(now); !ok {
+			t.Fatalf("take %d refused within burst", i)
+		}
+	}
+	ok, retry := ts.take(now)
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	if retry != time.Second {
+		t.Fatalf("Retry-After = %v, want 1s (rate 1/s, bucket empty)", retry)
+	}
+
+	now = now.Add(500 * time.Millisecond)
+	ok, retry = ts.take(now)
+	if ok {
+		t.Fatal("take admitted with half a token")
+	}
+	if retry != 500*time.Millisecond {
+		t.Fatalf("Retry-After = %v, want 500ms", retry)
+	}
+
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := ts.take(now); !ok {
+		t.Fatal("take refused after full refill interval")
+	}
+}
+
+// TestTokenBucketCapsAtBurst pins that idle time cannot bank more than
+// Burst tokens.
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	ts := &tenantState{limits: TenantLimits{RatePerSec: 10, Burst: 2}.withDefaults()}
+	now := time.Unix(1000, 0)
+	if ok, _ := ts.take(now); !ok {
+		t.Fatal("first take refused")
+	}
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := ts.take(now); !ok {
+			t.Fatalf("take %d refused after long idle (burst should be banked)", i)
+		}
+	}
+	if ok, _ := ts.take(now); ok {
+		t.Fatal("take beyond burst admitted after long idle")
+	}
+}
+
+// TestTokenBucketUnlimited pins that RatePerSec 0 never refuses.
+func TestTokenBucketUnlimited(t *testing.T) {
+	ts := &tenantState{limits: TenantLimits{}.withDefaults()}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := ts.take(now); !ok {
+			t.Fatal("unlimited tenant refused")
+		}
+	}
+}
+
+// TestTenantLimitsDefaults pins the zero-value conventions.
+func TestTenantLimitsDefaults(t *testing.T) {
+	l := TenantLimits{}.withDefaults()
+	if l.Burst != 1 || l.MaxQueue != defaultMaxQueue || l.Weight != 1 {
+		t.Fatalf("withDefaults() = %+v", l)
+	}
+	l = TenantLimits{RatePerSec: 5}.withDefaults()
+	if l.Burst != 5 {
+		t.Fatalf("Burst default = %v, want RatePerSec", l.Burst)
+	}
+}
+
+// TestTenantSetOverrides pins that named overrides apply and unnamed
+// tenants share the default policy (but not the default state).
+func TestTenantSetOverrides(t *testing.T) {
+	set := newTenantSet(
+		TenantLimits{RatePerSec: 2},
+		map[string]TenantLimits{"vip": {RatePerSec: 100, Weight: 8}},
+	)
+	if got := set.get("vip").limits.Weight; got != 8 {
+		t.Fatalf("vip weight = %v, want 8", got)
+	}
+	a, b := set.get("a"), set.get("b")
+	if a == b {
+		t.Fatal("distinct tenants share state")
+	}
+	if a.limits.RatePerSec != 2 || a.limits.Burst != 2 {
+		t.Fatalf("default tenant limits = %+v", a.limits)
+	}
+	if set.get("a") != a {
+		t.Fatal("tenant state not stable across lookups")
+	}
+	names := set.names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v, want 3 tenants", names)
+	}
+}

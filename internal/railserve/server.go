@@ -741,7 +741,6 @@ func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, boo
 		Rail:             req.Rail,
 		GPUs:             req.GPUs,
 	}
-	var specKey scenario.Spec
 	if req.Grid != nil {
 		if !photonrail.IsGridExperiment(req.Name) {
 			fail(fmt.Errorf("railserve: experiment %q does not take a grid", req.Name))
@@ -753,9 +752,11 @@ func (s *Server) serveExp(msg *opusnet.Message, reply func(*opusnet.Message, boo
 			return
 		}
 		p.Grid = &spec
-		specKey = spec
 	}
-	key := exp.Key("exp", req.Name, p.Iterations, p.WindowIterations, p.LatenciesMS, p.Rail, p.GPUs, specKey)
+	// The canonical experiment/params hash: the same key the railgate
+	// front door content-addresses stored results under, so in-flight
+	// coalescing here and cross-restart dedup there agree by construction.
+	key := photonrail.ExperimentKey(req.Name, p)
 
 	s.serveRun(s.beginReq(req.Name, key, 0), key, seq, req.TimeoutMS, opusnet.MsgExpProgress, reply, cs,
 		func(shared bool) {

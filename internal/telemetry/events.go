@@ -46,6 +46,12 @@ type Event struct {
 	// Reason distinguishes membership transitions: a leave is "drained"
 	// or "heartbeat timeout"; a drain carries the sender's reason.
 	Reason string `json:"reason,omitempty"`
+	// Tenant is the requesting tenant for gateway events.
+	Tenant string `json:"tenant,omitempty"`
+	// Done/Total carry per-cell completion progress for gateway
+	// progress events (Done of Total cells finished).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
 }
 
 // nower lets tests pin the clock; production uses time.Now.

@@ -43,34 +43,66 @@ func (s *Set) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		flusher, ok := w.(http.Flusher)
-		if !ok {
-			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.Header().Set("Cache-Control", "no-cache")
-		sub := s.Events.SubscribeReplay(256)
-		defer sub.Close()
-		for _, ev := range sub.Replay() {
-			if err := writeSSE(w, ev); err != nil {
-				return
-			}
-		}
-		flusher.Flush()
-		for {
-			select {
-			case ev := <-sub.C():
-				if err := writeSSE(w, ev); err != nil {
-					return
-				}
-				flusher.Flush()
-			case <-r.Context().Done():
-				return
-			}
-		}
+		s.Events.ServeSSE(w, r, nil, nil)
 	})
 	return mux
+}
+
+// ServeSSE streams the event log to one HTTP client as server-sent
+// events: the retained ring is replayed first (atomically — no gap or
+// overlap with the live tail), then live events stream until the client
+// disconnects. Each frame is one JSON event. pred, when non-nil,
+// filters which events are sent — the railgate front door streams one
+// run's progress by predicating on the event's request id. last, when
+// non-nil, is consulted after each sent event; returning true ends the
+// stream cleanly — how a per-run stream terminates once the run's
+// terminal event has been delivered. A slow client only ever loses its
+// own events (subscriber-buffer drop); emitters never block.
+func (l *EventLog) ServeSSE(w http.ResponseWriter, r *http.Request, pred func(Event) bool, last func(Event) bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	send := func(ev Event) (done bool, err error) {
+		if pred != nil && !pred(ev) {
+			return false, nil
+		}
+		if err := writeSSE(w, ev); err != nil {
+			return false, err
+		}
+		return last != nil && last(ev), nil
+	}
+	sub := l.SubscribeReplay(256)
+	defer sub.Close()
+	for _, ev := range sub.Replay() {
+		done, err := send(ev)
+		if err != nil {
+			return
+		}
+		if done {
+			flusher.Flush()
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev := <-sub.C():
+			done, err := send(ev)
+			if err != nil {
+				return
+			}
+			flusher.Flush()
+			if done {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func writeSSE(w http.ResponseWriter, ev Event) error {

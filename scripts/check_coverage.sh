@@ -23,6 +23,7 @@ photonrail/cmd/railcost 70
 photonrail/cmd/raild 55
 photonrail/cmd/raillint 28
 photonrail/cmd/railfleet 60
+photonrail/cmd/railgate 75
 photonrail/cmd/railgrid 60
 photonrail/cmd/railsweep 60
 photonrail/cmd/railwindows 70
@@ -50,8 +51,10 @@ photonrail/internal/opusnet 82
 photonrail/internal/parallelism 90
 photonrail/internal/railctl 88
 photonrail/internal/railfleet 80
+photonrail/internal/railgate 88
 photonrail/internal/railserve 80
 photonrail/internal/report 95
+photonrail/internal/resultstore 82
 photonrail/internal/scenario 93
 photonrail/internal/sim 88
 photonrail/internal/telemetry 85
